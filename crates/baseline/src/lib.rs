@@ -1,0 +1,22 @@
+//! Baseline collectors the paper argues against.
+//!
+//! * [`refcount`] — distributed **reference counting**, the alternative the
+//!   paper says "has particular deficiencies that make it unsuitable": it
+//!   cannot reclaim self-referencing structures, and it cannot perform the
+//!   tracing needed to identify task types or deadlock. The implementation
+//!   here demonstrates the first deficiency quantitatively (T2) and the
+//!   second by construction (there is nothing to query).
+//! * [`stw`] — a **stop-the-world** tracing collector: exact, but performs
+//!   all of its work while the reduction process is halted (T1's
+//!   comparison partner for the concurrent collector).
+//! * [`noncoop`] — the decentralized marking algorithm run **without
+//!   mutator cooperation**, i.e. under the static-graph assumption of the
+//!   Chandy–Misra-style algorithms the paper contrasts itself with;
+//!   mutation during marking makes it lose live vertices (T-abl).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod noncoop;
+pub mod refcount;
+pub mod stw;

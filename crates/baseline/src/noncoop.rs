@@ -1,0 +1,128 @@
+//! Marking under mutation with cooperation switched off.
+//!
+//! Chandy–Misra-style distributed graph algorithms assume the graph is
+//! static. Running the paper's marking on a mutating graph *without* the
+//! cooperating mutator primitives reproduces that assumption — and its
+//! failure mode: live vertices end up unmarked and would be reclaimed.
+//! The move mutation keeps root-reachability invariant, so every unmarked
+//! live vertex at the end is a definite loss.
+
+use dgr_core::driver::{reset_slot, route};
+use dgr_core::{handle_mark, MarkMsg, MarkState, RMode};
+use dgr_graph::{oracle, GraphStore, MarkParent, PartitionMap, PartitionStrategy, Slot};
+use dgr_sim::{DetSim, SchedPolicy};
+use dgr_workloads::mutation::MoveMutator;
+use serde::{Deserialize, Serialize};
+
+/// Result of one marking-under-mutation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoopReport {
+    /// Whether cooperation was enabled.
+    pub cooperating: bool,
+    /// Mutations applied during the marking pass.
+    pub mutations: u64,
+    /// Live (root-reachable) vertices at the end of the pass.
+    pub live: usize,
+    /// Live vertices the pass failed to mark — what a collector using
+    /// these marks would wrongly reclaim.
+    pub lost_live: usize,
+    /// Marking events executed.
+    pub mark_events: u64,
+}
+
+/// Runs one `mark1` pass over `g` while applying one move mutation every
+/// `mutation_period` marking events (`0` = no mutation).
+pub fn mark_under_mutation(
+    g: &mut GraphStore,
+    cooperating: bool,
+    mutation_period: u64,
+    seed: u64,
+) -> CoopReport {
+    let root = g.root().expect("marking needs a root");
+    reset_slot(g, Slot::R);
+    let mut state = MarkState::new();
+    state.cooperation_enabled = cooperating;
+    state.begin_r(RMode::Simple);
+
+    let partition = PartitionMap::new(4, g.capacity(), PartitionStrategy::Modulo);
+    let mut sim: DetSim<MarkMsg> = DetSim::new(4, SchedPolicy::Random { marking_bias: 0.5 }, seed);
+    sim.send(route(
+        &partition,
+        MarkMsg::Mark1 {
+            v: root,
+            par: MarkParent::RootPar,
+        },
+    ));
+
+    let mut mutator = MoveMutator::new(seed.wrapping_add(1));
+    let mut events = 0u64;
+    let mut buf: Vec<MarkMsg> = Vec::new();
+    while let Some((_pe, _lane, msg)) = sim.next_event() {
+        handle_mark(&mut state, g, msg, &mut |m| buf.push(m));
+        events += 1;
+        for m in buf.drain(..) {
+            sim.send(route(&partition, m));
+        }
+        if mutation_period > 0 && events % mutation_period == 0 {
+            let mut coop_buf: Vec<MarkMsg> = Vec::new();
+            mutator.step(&mut state, g, &mut |m| coop_buf.push(m));
+            for m in coop_buf {
+                sim.send(route(&partition, m));
+            }
+        }
+    }
+    assert!(state.r_done, "marking drained without termination");
+
+    let reach = oracle::reachable_r(g);
+    let lost_live = g
+        .live_ids()
+        .filter(|&v| reach.contains(v) && !g.vertex(v).mr.is_marked())
+        .count();
+    CoopReport {
+        cooperating,
+        mutations: mutator.applied,
+        live: reach.len(),
+        lost_live,
+        mark_events: events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgr_workloads::graphs::binary_tree;
+
+    #[test]
+    fn cooperating_loses_nothing() {
+        for seed in 0..10 {
+            let mut g = binary_tree(8);
+            let r = mark_under_mutation(&mut g, true, 1, seed);
+            assert!(r.mutations > 0, "seed {seed}: mutations applied");
+            assert_eq!(r.lost_live, 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn non_cooperating_loses_live_vertices() {
+        // Aggregate over seeds: any single schedule may get lucky, but
+        // across ten adversarial runs the static-graph assumption must
+        // lose vertices.
+        let mut total_lost = 0usize;
+        for seed in 0..10 {
+            let mut g = binary_tree(8);
+            let r = mark_under_mutation(&mut g, false, 1, seed);
+            total_lost += r.lost_live;
+        }
+        assert!(total_lost > 0, "static-graph marking lost no vertices?");
+    }
+
+    #[test]
+    fn no_mutation_no_difference() {
+        let mut g1 = binary_tree(6);
+        let mut g2 = binary_tree(6);
+        let coop = mark_under_mutation(&mut g1, true, 0, 3);
+        let non = mark_under_mutation(&mut g2, false, 0, 3);
+        assert_eq!(coop.lost_live, 0);
+        assert_eq!(non.lost_live, 0, "a static graph needs no cooperation");
+    }
+}

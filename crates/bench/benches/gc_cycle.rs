@@ -1,0 +1,55 @@
+//! T1 micro-benchmark: one full mark-and-restructure cycle versus one
+//! stop-the-world collection, across live-set sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgr_baseline::stw::collect_stw;
+use dgr_core::{MarkMsg, MarkState};
+use dgr_gc::{GcConfig, GcDriver};
+use dgr_reduction::{System, SystemConfig, TemplateStore};
+use dgr_workloads::churn::{churn_trace, ChurnReplayer};
+
+fn churned_graph(steps: usize) -> dgr_graph::GraphStore {
+    let trace = churn_trace(steps, 6, 0.3, 0.5, 9);
+    let mut rep = ChurnReplayer::new(steps * 8);
+    let mut state = MarkState::new();
+    let mut sink = |_m: MarkMsg| {};
+    for op in trace {
+        rep.apply(op, &mut state, &mut sink);
+    }
+    rep.g
+}
+
+fn bench_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gc_cycle");
+    group.sample_size(15);
+    for &steps in &[200usize, 1_000, 4_000] {
+        let base = churned_graph(steps);
+        group.bench_with_input(
+            BenchmarkId::new("concurrent_cycle", steps),
+            &steps,
+            |b, _| {
+                b.iter_batched(
+                    || {
+                        GcDriver::new(
+                            System::new(base.clone(), TemplateStore::new(), SystemConfig::default()),
+                            GcConfig::default(),
+                        )
+                    },
+                    |mut gc| gc.run_cycle(),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("stop_the_world", steps), &steps, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut g| collect_stw(&mut g),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! F4-1 micro-benchmarks: one full marking pass (mark1 / mark2 / mark3)
+//! over quiescent graphs of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgr_core::driver::{run_mark1, run_mark2, run_mark3, MarkRunConfig};
+use dgr_graph::TaskEndpoints;
+use dgr_workloads::graphs::{random_digraph, sprinkle_request_kinds};
+
+fn bench_marking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marking");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let mut base = random_digraph(n, 3.0, 42);
+        sprinkle_request_kinds(&mut base, 0.4, 0.3, 7);
+        let cfg = MarkRunConfig::default();
+
+        group.bench_with_input(BenchmarkId::new("mark1", n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut g| run_mark1(&mut g, &cfg),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("mark2", n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut g| run_mark2(&mut g, &cfg),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        let seeds: TaskEndpoints = base.live_ids().take(16).collect();
+        group.bench_with_input(BenchmarkId::new("mark3", n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut g| run_mark3(&mut g, &seeds, &cfg),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_marking);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! F5 micro-benchmark: priority marking (`mark2`) versus plain marking
+//! (`mark1`) on shared-subexpression DAGs, including the adversarial
+//! re-marking case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgr_core::driver::{run_mark1, run_mark2, MarkRunConfig};
+use dgr_sim::SchedPolicy;
+use dgr_workloads::graphs::{shared_dag, sprinkle_request_kinds};
+
+fn bench_priority(c: &mut Criterion) {
+    let mut group = c.benchmark_group("priority_marking");
+    group.sample_size(20);
+    for &(levels, width) in &[(6usize, 8usize), (8, 12)] {
+        let mut base = shared_dag(levels, width);
+        sprinkle_request_kinds(&mut base, 0.4, 0.4, 3);
+        for (name, policy) in [
+            ("fifo", SchedPolicy::Fifo),
+            ("lifo", SchedPolicy::Lifo),
+        ] {
+            let cfg = MarkRunConfig {
+                policy,
+                ..Default::default()
+            };
+            let id = format!("{levels}x{width}/{name}");
+            group.bench_with_input(BenchmarkId::new("mark1", &id), &(), |b, _| {
+                b.iter_batched(
+                    || base.clone(),
+                    |mut g| run_mark1(&mut g, &cfg),
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+            group.bench_with_input(BenchmarkId::new("mark2", &id), &(), |b, _| {
+                b.iter_batched(
+                    || base.clone(),
+                    |mut g| run_mark2(&mut g, &cfg),
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_priority);
+criterion_main!(benches);

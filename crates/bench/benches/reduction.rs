@@ -1,0 +1,42 @@
+//! End-to-end reduction benchmarks: representative programs through the
+//! whole pipeline (compile once, reduce per iteration), with and without
+//! concurrent GC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgr_gc::{GcConfig, GcDriver};
+use dgr_lang::build_with_prelude;
+use dgr_reduction::SystemConfig;
+
+fn bench_programs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction");
+    group.sample_size(10);
+    for (name, src) in [
+        ("fib_14", "fib 14"),
+        ("sum_squares_100", "sum (map (\\x -> x * x) (range 1 100))"),
+        ("primes_40", "length (filter (\\k -> isnil (filter (\\d -> k % d == 0) (range 2 (k - 1)))) (range 2 40))"),
+    ] {
+        group.bench_function(format!("{name}/plain"), |b| {
+            b.iter(|| {
+                let mut sys = build_with_prelude(src, SystemConfig::default()).unwrap();
+                sys.run()
+            })
+        });
+        group.bench_function(format!("{name}/with_gc"), |b| {
+            b.iter(|| {
+                let sys = build_with_prelude(src, SystemConfig::default()).unwrap();
+                let mut gc = GcDriver::new(
+                    sys,
+                    GcConfig {
+                        period: 500,
+                        ..Default::default()
+                    },
+                );
+                gc.run()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_programs);
+criterion_main!(benches);

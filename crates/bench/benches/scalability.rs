@@ -1,0 +1,26 @@
+//! T5 micro-benchmark: threaded `mark1` wall time across PE counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgr_core::threaded::run_mark1_threaded;
+use dgr_graph::PartitionStrategy;
+use dgr_workloads::graphs::binary_tree;
+
+fn bench_threaded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threaded_mark1");
+    group.sample_size(10);
+    let depth = 15; // 65k vertices
+    let base = binary_tree(depth);
+    for &pes in &[1u16, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(pes), &pes, |b, &pes| {
+            b.iter_batched(
+                || base.clone(),
+                |g| run_mark1_threaded(g, pes, PartitionStrategy::Modulo),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threaded);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Experiments F4-2 and T-abl: mutator cooperation during marking.
+//!
+//! A stream of reachability-preserving *move* mutations runs concurrently
+//! with a `mark1` pass. With the cooperating primitives of Figure 4-2, no
+//! live vertex is ever lost; with cooperation disabled (the static-graph
+//! assumption of Chandy–Misra-style algorithms), live vertices end up
+//! unmarked at any nonzero mutation rate — a collector trusting those
+//! marks would reclaim them.
+
+use dgr_baseline::noncoop::mark_under_mutation;
+use dgr_bench::{f2, print_table};
+use dgr_workloads::graphs::binary_tree;
+
+fn main() {
+    const SEEDS: u64 = 20;
+    let mut rows = Vec::new();
+    for &period in &[0u64, 16, 8, 4, 2, 1] {
+        for coop in [true, false] {
+            let mut lost_total = 0usize;
+            let mut lost_runs = 0usize;
+            let mut mutations = 0u64;
+            let mut live = 0usize;
+            for seed in 0..SEEDS {
+                let mut g = binary_tree(9);
+                let r = mark_under_mutation(&mut g, coop, period, seed);
+                lost_total += r.lost_live;
+                lost_runs += usize::from(r.lost_live > 0);
+                mutations += r.mutations;
+                live = r.live;
+            }
+            rows.push(vec![
+                if period == 0 {
+                    "none".into()
+                } else {
+                    format!("1/{period}")
+                },
+                if coop { "on" } else { "off" }.to_string(),
+                f2(mutations as f64 / SEEDS as f64),
+                live.to_string(),
+                f2(lost_total as f64 / SEEDS as f64),
+                format!("{lost_runs}/{SEEDS}"),
+            ]);
+            if coop {
+                assert_eq!(lost_total, 0, "cooperation must never lose a live vertex");
+            }
+        }
+    }
+    print_table(
+        "F4-2 / T-abl: live vertices lost by marking under mutation \
+         (binary tree d=9, 20 seeds)",
+        &[
+            "mutation rate",
+            "cooperation",
+            "avg mutations",
+            "live",
+            "avg lost",
+            "runs w/ loss",
+        ],
+        &rows,
+    );
+    println!(
+        "\nShape check: cooperation ON loses 0 at every rate; cooperation OFF \
+         loses vertices increasingly often as the mutation rate rises."
+    );
+}

@@ -1,0 +1,98 @@
+//! Experiment F4-1: the simplified marking algorithm (Figure 4-1) on
+//! quiescent graphs — correctness against the oracle and cost/shape of
+//! the marking wave across graph sizes, degrees and schedules.
+
+use dgr_bench::{f2, print_table, timed};
+use dgr_core::driver::{run_mark1, MarkRunConfig};
+use dgr_graph::oracle;
+use dgr_sim::SchedPolicy;
+use dgr_workloads::graphs::{binary_tree, chain, random_digraph};
+
+fn main() {
+    // Size sweep on random digraphs.
+    let mut rows = Vec::new();
+    for &n in &[1_000usize, 10_000, 100_000] {
+        for &deg in &[2.0, 4.0] {
+            let mut g = random_digraph(n, deg, 42);
+            let reach = oracle::reachable_r(&g);
+            let cfg = MarkRunConfig::default();
+            let (stats, ms) = timed(|| run_mark1(&mut g, &cfg));
+            // Verify against the oracle.
+            let agree = g
+                .live_ids()
+                .all(|v| reach.contains(v) == g.vertex(v).mr.is_marked());
+            assert!(agree, "marking disagrees with the oracle");
+            rows.push(vec![
+                n.to_string(),
+                f2(deg),
+                reach.len().to_string(),
+                stats.marked.to_string(),
+                stats.events.to_string(),
+                f2(stats.events as f64 / reach.len().max(1) as f64),
+                stats.remote_messages.to_string(),
+                f2(ms),
+            ]);
+        }
+    }
+    print_table(
+        "F4-1a: mark1 on random digraphs (4 PEs, FIFO)",
+        &[
+            "|V|", "degree", "|R|", "marked", "events", "events/|R|", "remote", "ms",
+        ],
+        &rows,
+    );
+
+    // Shape sweep: tree vs chain (parallel wavefront vs sequential path).
+    let mut rows = Vec::new();
+    for (name, mut g) in [
+        ("tree d=14".to_string(), binary_tree(14)),
+        ("chain 32k".to_string(), chain(32_768)),
+    ] {
+        let cfg = MarkRunConfig::default();
+        let (stats, ms) = timed(|| run_mark1(&mut g, &cfg));
+        rows.push(vec![
+            name,
+            stats.marked.to_string(),
+            stats.events.to_string(),
+            f2(ms),
+        ]);
+    }
+    print_table(
+        "F4-1b: marking-tree shape (same |V|, different parallelism)",
+        &["graph", "marked", "events", "ms"],
+        &rows,
+    );
+
+    // Schedule robustness: every policy yields the same mark set.
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("fifo", SchedPolicy::Fifo),
+        ("lifo", SchedPolicy::Lifo),
+        ("round-robin", SchedPolicy::RoundRobin),
+        ("priority", SchedPolicy::PriorityFirst),
+        ("random", SchedPolicy::Random { marking_bias: 0.5 }),
+    ] {
+        let mut g = random_digraph(20_000, 3.0, 7);
+        let cfg = MarkRunConfig {
+            policy,
+            seed: 11,
+            ..Default::default()
+        };
+        let stats = run_mark1(&mut g, &cfg);
+        rows.push(vec![
+            name.to_string(),
+            stats.marked.to_string(),
+            stats.events.to_string(),
+        ]);
+    }
+    let marked: Vec<&String> = rows.iter().map(|r| &r[1]).collect();
+    assert!(
+        marked.windows(2).all(|w| w[0] == w[1]),
+        "mark set must be schedule-independent"
+    );
+    print_table(
+        "F4-1c: schedule independence (|V|=20k, degree 3)",
+        &["policy", "marked", "events"],
+        &rows,
+    );
+}

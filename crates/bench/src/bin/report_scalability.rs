@@ -1,0 +1,107 @@
+//! Experiment T5: marking scalability across processing elements.
+//!
+//! Parallel time is measured round-synchronously (BSP): in each round
+//! every PE executes one pending marking task, so the number of rounds is
+//! the pass's ideal parallel time with that many PEs. (Wall-clock speedup
+//! needs more hardware threads than a CI container offers; the threaded
+//! runtime's cross-PE message counts are reported instead, showing the
+//! communication the partitioning strategy induces.)
+
+use dgr_bench::{f2, print_table, timed};
+use dgr_core::driver::{run_mark1, run_mark1_bsp, MarkRunConfig};
+use dgr_core::threaded::{reset_shared_r, run_mark1_shared};
+use dgr_graph::PartitionStrategy;
+use dgr_sim::SharedGraph;
+use dgr_workloads::graphs::{binary_tree_dfs, random_digraph};
+
+fn main() {
+    // T5a: ideal parallel time (BSP rounds) vs PEs.
+    let mut rows = Vec::new();
+    let mut base_rounds = 0u64;
+    for &pes in &[1u16, 2, 4, 8, 16, 32, 64] {
+        let mut g = binary_tree_dfs(15); // 65k vertices
+        let stats = run_mark1_bsp(&mut g, pes, PartitionStrategy::Modulo);
+        if pes == 1 {
+            base_rounds = stats.rounds;
+        }
+        rows.push(vec![
+            pes.to_string(),
+            stats.events.to_string(),
+            stats.rounds.to_string(),
+            f2(base_rounds as f64 / stats.rounds as f64),
+        ]);
+    }
+    print_table(
+        "T5a: round-synchronous marking, binary tree depth 15 (65k vertices)",
+        &["PEs", "work (tasks)", "parallel time (rounds)", "speedup"],
+        &rows,
+    );
+
+    // T5b: the chain is the worst case — no parallelism to extract.
+    let mut rows = Vec::new();
+    for &pes in &[1u16, 8, 64] {
+        let mut g = dgr_workloads::graphs::chain(8192);
+        let stats = run_mark1_bsp(&mut g, pes, PartitionStrategy::Modulo);
+        rows.push(vec![
+            pes.to_string(),
+            stats.events.to_string(),
+            stats.rounds.to_string(),
+        ]);
+    }
+    print_table(
+        "T5b: round-synchronous marking, chain of 8192 (the marking tree is a path)",
+        &["PEs", "work (tasks)", "parallel time (rounds)"],
+        &rows,
+    );
+
+    // T5c: threaded runtime — cross-PE messages under each placement, and
+    // wall time (flat on a single-core host; the message counts are the
+    // hardware-independent signal).
+    let mut rows = Vec::new();
+    let shared = SharedGraph::from_store(binary_tree_dfs(16));
+    for &pes in &[1u16, 2, 4, 8, 16] {
+        reset_shared_r(&shared);
+        let (msgs, ms) = timed(|| run_mark1_shared(&shared, pes, PartitionStrategy::Block));
+        rows.push(vec![pes.to_string(), msgs.to_string(), f2(ms)]);
+    }
+    print_table(
+        "T5c: threaded runtime, DFS-numbered tree + block partition (131k vertices)",
+        &["PEs", "cross-PE messages", "wall ms (1-core host)"],
+        &rows,
+    );
+
+    // T5d: cross-partition traffic by placement in the event simulator.
+    let mut rows = Vec::new();
+    for &pes in &[2u16, 8, 32] {
+        for (name, strat) in [
+            ("modulo", PartitionStrategy::Modulo),
+            ("block", PartitionStrategy::Block),
+        ] {
+            let mut g = random_digraph(50_000, 3.0, 17);
+            let cfg = MarkRunConfig {
+                num_pes: pes,
+                partition: strat,
+                ..Default::default()
+            };
+            let stats = run_mark1(&mut g, &cfg);
+            rows.push(vec![
+                pes.to_string(),
+                name.to_string(),
+                stats.events.to_string(),
+                stats.remote_messages.to_string(),
+                f2(stats.remote_messages as f64 / stats.events.max(1) as f64 * 100.0) + "%",
+            ]);
+        }
+    }
+    print_table(
+        "T5d: cross-partition marking traffic (random digraph 50k, degree 3)",
+        &["PEs", "partition", "events", "remote", "remote share"],
+        &rows,
+    );
+    println!(
+        "\nShape check: parallel time falls near-linearly with PEs on the tree \
+         and not at all on the chain (the marking wavefront is the available \
+         parallelism); locality-aware placement (DFS + block) needs orders of \
+         magnitude fewer cross-PE messages than hashed placement."
+    );
+}

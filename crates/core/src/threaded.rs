@@ -1,0 +1,248 @@
+//! `mark1` on the real parallel runtime.
+//!
+//! Each marking task locks exactly one vertex for a bounded amount of work
+//! and never holds a lock while waiting on another PE — the property
+//! Section 6 uses to argue that resource deadlock between marking tasks is
+//! impossible and interference with the reduction process is minimal.
+//!
+//! This module is used by the scalability experiments (T5): the same
+//! algorithm that the deterministic simulator executes runs here on one
+//! OS thread per PE, against a [`SharedGraph`] with per-vertex locks.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use dgr_graph::{Color, GraphStore, MarkParent, PartitionMap, PartitionStrategy, Slot, VertexId};
+use dgr_sim::{Envelope, Lane, SharedGraph, ThreadedRuntime};
+
+use crate::msg::MarkMsg;
+
+fn route(partition: &PartitionMap, msg: MarkMsg) -> Envelope<MarkMsg> {
+    let pe = msg
+        .dest_vertex()
+        .map(|v| partition.pe_of(v))
+        .unwrap_or(dgr_graph::PeId::new(0));
+    Envelope::new(pe, Lane::Marking, msg)
+}
+
+/// Runs a complete `mark1` pass over `store` using `num_pes` OS threads,
+/// returning the marked store and the number of marking messages handled.
+///
+/// The R slot is reset first. Termination is detected both by the
+/// algorithm (the `done` flag set by the return to `rootpar`) and by
+/// runtime quiescence; the two are asserted to agree.
+///
+/// # Panics
+///
+/// Panics if the store has no root or if quiescence is reached without the
+/// algorithm signalling `done`.
+pub fn run_mark1_threaded(
+    mut store: GraphStore,
+    num_pes: u16,
+    strategy: PartitionStrategy,
+) -> (GraphStore, u64) {
+    crate::driver::reset_slot(&mut store, Slot::R);
+    let shared = SharedGraph::from_store(store);
+    let handled = run_mark1_shared(&shared, num_pes, strategy);
+    (shared.into_store(), handled)
+}
+
+/// Resets every vertex's R slot in a shared graph (between passes).
+pub fn reset_shared_r(shared: &SharedGraph) {
+    for i in 0..shared.capacity() {
+        shared.lock(VertexId::new(i as u32)).mr.reset();
+    }
+}
+
+/// Runs one `mark1` pass over an already-shared graph whose R slots are
+/// reset, returning the number of cross-PE marking messages. This is the
+/// timed core of the T5 scalability experiment — the store↔shared
+/// conversions of [`run_mark1_threaded`] are serial setup, not marking.
+///
+/// # Panics
+///
+/// Panics if the graph has no root or quiescence is reached without the
+/// algorithm signalling `done`.
+pub fn run_mark1_shared(shared: &SharedGraph, num_pes: u16, strategy: PartitionStrategy) -> u64 {
+    let root = shared.root().expect("marking needs a root");
+    let partition = PartitionMap::new(num_pes, shared.capacity(), strategy);
+    let done = AtomicBool::new(false);
+
+    let handled = ThreadedRuntime::new(num_pes).run(
+        vec![route(
+            &partition,
+            MarkMsg::Mark1 {
+                v: root,
+                par: MarkParent::RootPar,
+            },
+        )],
+        |ctx, msg: MarkMsg| {
+            // A PE drains its own task pool locally; only marking tasks
+            // addressed to another PE's partition become messages. Each
+            // task still locks exactly one vertex for bounded work.
+            let mut work = vec![msg];
+            let emit = |work: &mut Vec<MarkMsg>, m: MarkMsg| {
+                let env = route(&partition, m);
+                if env.dst == ctx.me() {
+                    work.push(m);
+                } else {
+                    ctx.send(env);
+                }
+            };
+            while let Some(m) = work.pop() {
+                match m {
+                    MarkMsg::Mark1 { v, par } => {
+                        let mut guard = shared.lock(v);
+                        if guard.mr.is_unmarked() && !guard.is_free() {
+                            guard.mr.color = Color::Transient;
+                            guard.mr.mt_par = Some(par);
+                            let children: Vec<VertexId> = guard.r_children();
+                            guard.mr.mt_cnt += children.len() as u32;
+                            if children.is_empty() {
+                                guard.mr.color = Color::Marked;
+                                drop(guard);
+                                emit(
+                                    &mut work,
+                                    MarkMsg::Return {
+                                        slot: Slot::R,
+                                        to: par,
+                                    },
+                                );
+                            } else {
+                                drop(guard);
+                                for c in children {
+                                    emit(
+                                        &mut work,
+                                        MarkMsg::Mark1 {
+                                            v: c,
+                                            par: MarkParent::Vertex(v),
+                                        },
+                                    );
+                                }
+                            }
+                        } else {
+                            drop(guard);
+                            emit(
+                                &mut work,
+                                MarkMsg::Return {
+                                    slot: Slot::R,
+                                    to: par,
+                                },
+                            );
+                        }
+                    }
+                    MarkMsg::Return { to, .. } => match to {
+                        MarkParent::RootPar => {
+                            done.store(true, Ordering::SeqCst);
+                        }
+                        MarkParent::TaskRootPar => {
+                            unreachable!("mark1 never uses the task root")
+                        }
+                        MarkParent::Vertex(v) => {
+                            let mut guard = shared.lock(v);
+                            debug_assert!(guard.mr.mt_cnt > 0);
+                            guard.mr.mt_cnt -= 1;
+                            if guard.mr.mt_cnt == 0 {
+                                guard.mr.color = Color::Marked;
+                                let par =
+                                    guard.mr.mt_par.expect("completing vertex has a parent");
+                                drop(guard);
+                                emit(
+                                    &mut work,
+                                    MarkMsg::Return {
+                                        slot: Slot::R,
+                                        to: par,
+                                    },
+                                );
+                            }
+                        }
+                    },
+                    other => unreachable!("threaded mark1 pass received {other:?}"),
+                }
+            }
+        },
+    );
+    assert!(
+        done.load(Ordering::SeqCst),
+        "quiescent without termination signal"
+    );
+    handled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgr_graph::{oracle, NodeLabel};
+
+    /// A binary tree of the given depth plus `stray` disconnected vertices.
+    fn tree(depth: usize, stray: usize) -> GraphStore {
+        let n = (1 << (depth + 1)) - 1;
+        let mut g = GraphStore::with_capacity(n + stray);
+        let ids: Vec<_> = (0..n)
+            .map(|i| g.alloc(NodeLabel::lit_int(i as i64)).unwrap())
+            .collect();
+        for i in 0..n {
+            for child in [2 * i + 1, 2 * i + 2] {
+                if child < n {
+                    g.connect(ids[i], ids[child]);
+                }
+            }
+        }
+        for _ in 0..stray {
+            g.alloc(NodeLabel::lit_int(-1)).unwrap();
+        }
+        g.set_root(ids[0]);
+        g
+    }
+
+    #[test]
+    fn threaded_mark1_agrees_with_oracle() {
+        for pes in [1u16, 2, 4, 8] {
+            let g = tree(8, 37);
+            let (marked, handled) = run_mark1_threaded(g, pes, PartitionStrategy::Modulo);
+            assert!(handled > 0);
+            let r = oracle::reachable_r(&marked);
+            for v in marked.live_ids() {
+                assert_eq!(
+                    r.contains(v),
+                    marked.vertex(v).mr.is_marked(),
+                    "{pes} PEs, vertex {v}"
+                );
+                assert_eq!(marked.vertex(v).mr.mt_cnt, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_mark1_handles_cycles_and_sharing() {
+        let mut g = GraphStore::with_capacity(64);
+        let ids: Vec<_> = (0..32)
+            .map(|i| g.alloc(NodeLabel::lit_int(i)).unwrap())
+            .collect();
+        // Dense strongly-connected mess.
+        for i in 0..32usize {
+            g.connect(ids[i], ids[(i * 7 + 3) % 32]);
+            g.connect(ids[i], ids[(i * 5 + 11) % 32]);
+            g.connect(ids[i], ids[(i + 1) % 32]);
+        }
+        g.set_root(ids[0]);
+        let (marked, _) = run_mark1_threaded(g, 4, PartitionStrategy::Block);
+        for &v in &ids {
+            assert!(marked.vertex(v).mr.is_marked());
+        }
+    }
+
+    #[test]
+    fn threaded_matches_simulated_mark_set() {
+        let g = tree(6, 11);
+        let mut g_sim = g.clone();
+        crate::driver::run_mark1(&mut g_sim, &crate::driver::MarkRunConfig::default());
+        let (g_thr, _) = run_mark1_threaded(g, 4, PartitionStrategy::Modulo);
+        for v in g_sim.ids() {
+            assert_eq!(
+                g_sim.vertex(v).mr.is_marked(),
+                g_thr.vertex(v).mr.is_marked(),
+                "differential mismatch at {v}"
+            );
+        }
+    }
+}

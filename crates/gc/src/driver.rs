@@ -1,0 +1,738 @@
+//! The endless mark-and-restructure cycle, interleaved with reduction.
+
+use dgr_core::{MarkMsg, RMode};
+use dgr_graph::{
+    MarkParent, Priority, Requester, Slot, Value, VertexSet,
+};
+use dgr_reduction::{RedMsg, RunOutcome, System};
+use dgr_sim::Lane;
+
+use crate::classify::{classify_pending_tasks, deadlocked_vertices, garbage_vertices};
+use crate::report::{CycleReport, GcStats};
+
+/// Order of the two marking phases within a cycle.
+///
+/// Theorem 2 requires `M_T` to execute **before** `M_R` for deadlock
+/// detection to be sound; [`CycleOrder::RBeforeT`] is provided as the
+/// ablation (experiment T7) demonstrating why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleOrder {
+    /// The paper's order: `M_T`, then `M_R`.
+    TBeforeR,
+    /// The broken order, for the ablation.
+    RBeforeT,
+}
+
+/// Configuration of the GC driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcConfig {
+    /// Reduction events delivered between cycles.
+    pub period: u64,
+    /// Run `M_T` every this many cycles (`1` = every cycle; the paper's
+    /// Section 6 suggests running it only occasionally since it exists
+    /// solely for deadlock detection). `0` disables `M_T` entirely.
+    pub mt_every: u32,
+    /// Phase order (see [`CycleOrder`]).
+    pub order: CycleOrder,
+    /// Return garbage to the free list.
+    pub reclaim: bool,
+    /// Expunge irrelevant tasks from the pools (Property 6).
+    pub expunge: bool,
+    /// Re-lane pending requests to their destination's priority.
+    pub reprioritize: bool,
+    /// Recover deadlocked vertices by returning `⊥` to their requesters
+    /// (footnote 5's `is-bottom` pseudo-function).
+    pub deadlock_recovery: bool,
+    /// During a marking phase, deliver up to this many marking tasks for
+    /// every one policy-scheduled task (the paper's Section 6 remark that
+    /// marking tasks can take precedence). Guarantees marking outpaces a
+    /// mutator that keeps growing the graph; `0` leaves scheduling
+    /// entirely to the policy.
+    pub marking_service_ratio: u32,
+    /// Maximum events per marking phase before the cycle is abandoned
+    /// (protects against marking chasing an unboundedly growing region).
+    pub phase_budget: u64,
+    /// Overall event budget for [`GcDriver::run`].
+    pub max_total_events: u64,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig {
+            period: 200,
+            mt_every: 1,
+            order: CycleOrder::TBeforeR,
+            reclaim: true,
+            expunge: true,
+            reprioritize: true,
+            deadlock_recovery: false,
+            marking_service_ratio: 3,
+            phase_budget: 2_000_000,
+            max_total_events: 100_000_000,
+        }
+    }
+}
+
+/// Drives a reduction [`System`] with concurrent garbage collection, task
+/// deletion, deadlock detection and dynamic task prioritization.
+#[derive(Debug)]
+pub struct GcDriver {
+    /// The underlying system (graph, templates, simulator).
+    pub sys: System,
+    cfg: GcConfig,
+    cycle: u32,
+    stats: GcStats,
+    last_report: CycleReport,
+}
+
+impl GcDriver {
+    /// Wraps a system.
+    pub fn new(sys: System, cfg: GcConfig) -> Self {
+        GcDriver {
+            sys,
+            cfg,
+            cycle: 0,
+            stats: GcStats::default(),
+            last_report: CycleReport::default(),
+        }
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> &GcStats {
+        &self.stats
+    }
+
+    /// The most recent cycle's report.
+    pub fn last_report(&self) -> &CycleReport {
+        &self.last_report
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GcConfig {
+        &self.cfg
+    }
+
+    /// Demands the root and runs reduction with periodic GC cycles until
+    /// the result arrives, the system is quiescent, or the budget runs
+    /// out.
+    pub fn run(&mut self) -> RunOutcome {
+        self.sys.demand_root();
+        self.run_more()
+    }
+
+    /// Continues running without demanding the root again.
+    pub fn run_more(&mut self) -> RunOutcome {
+        loop {
+            let mut n = 0;
+            while n < self.cfg.period && self.sys.result.is_none() {
+                if !self.sys.step() {
+                    break;
+                }
+                n += 1;
+            }
+            if let Some(v) = &self.sys.result {
+                return RunOutcome::Value(v.clone());
+            }
+            let was_quiescent = self.sys.sim().is_empty();
+            self.run_cycle();
+            if let Some(v) = &self.sys.result {
+                return RunOutcome::Value(v.clone());
+            }
+            if was_quiescent && self.sys.sim().is_empty() {
+                // No tasks before the cycle, none created by it (no
+                // recovery): the computation is over without a result.
+                return RunOutcome::Quiescent;
+            }
+            if self.sys.events() >= self.cfg.max_total_events {
+                return RunOutcome::Budget;
+            }
+        }
+    }
+
+    /// Runs one complete mark-and-restructure cycle, concurrently with any
+    /// pending reduction work. Returns the cycle's report.
+    pub fn run_cycle(&mut self) -> CycleReport {
+        self.cycle += 1;
+        let mut report = CycleReport {
+            cycle: self.cycle,
+            ..Default::default()
+        };
+        let run_mt = self.cfg.mt_every > 0 && (self.cycle - 1) % self.cfg.mt_every == 0;
+        report.ran_mt = run_mt;
+        // Both marking processes stay *in force* (mutator cooperation
+        // active) until restructuring completes: a vertex allocated and
+        // spliced in after a process's `done` fired must still be colored,
+        // or it would be misread as garbage (the paper's Lemma 1 argument
+        // relies on axiom 2 "also applying after t_c").
+        match self.cfg.order {
+            CycleOrder::TBeforeR => {
+                if run_mt {
+                    self.phase_t(&mut report);
+                }
+                if !report.aborted {
+                    self.phase_r(&mut report);
+                }
+            }
+            CycleOrder::RBeforeT => {
+                self.phase_r(&mut report);
+                if run_mt && !report.aborted {
+                    self.phase_t(&mut report);
+                }
+            }
+        }
+        // Cooperation during the later phase may have retracted the earlier
+        // phase's `done` flag (orphan marks hung on the virtual roots);
+        // settle both before reading the marks.
+        if !report.aborted {
+            self.drive_phase(&mut report, |s| {
+                s.mark_state.r_done && (!run_mt || s.mark_state.t_done)
+            });
+        }
+        if !report.aborted {
+            self.restructure(&mut report, run_mt);
+        }
+        self.sys.mark_state.end_r();
+        self.sys.mark_state.end_t();
+        self.stats.absorb(&report);
+        self.last_report = report.clone();
+        report
+    }
+
+    /// Runs a marking phase: injects the seeds, then keeps delivering
+    /// events (reduction included — the phases are concurrent) until the
+    /// process signals `done` or the phase budget is exhausted.
+    fn drive_phase(&mut self, report: &mut CycleReport, done: impl Fn(&System) -> bool) {
+        let start_total = self.sys.sim().stats().delivered_total();
+        let start_marking = self.sys.sim().stats().delivered(Lane::Marking);
+        let mut events = 0u64;
+        while !done(&self.sys) {
+            // Priority service for marking tasks, so the wave always
+            // outpaces a mutator that keeps allocating (Section 6).
+            let mut progressed = false;
+            for _ in 0..self.cfg.marking_service_ratio {
+                if done(&self.sys) || !self.sys.step_lane(Lane::Marking) {
+                    break;
+                }
+                progressed = true;
+                events += 1;
+            }
+            if done(&self.sys) {
+                break;
+            }
+            if !self.sys.step() {
+                assert!(
+                    done(&self.sys) || progressed,
+                    "marking drained without its termination signal"
+                );
+                if !done(&self.sys) && !progressed {
+                    break;
+                }
+                if done(&self.sys) {
+                    break;
+                }
+                continue;
+            }
+            events += 1;
+            if events >= self.cfg.phase_budget {
+                report.aborted = true;
+                // Drop all in-flight marking tasks; colors and counts are
+                // reset at the start of the next cycle's phases.
+                self.sys
+                    .sim_mut()
+                    .expunge(|_, _, msg| msg.as_red().is_some());
+                break;
+            }
+        }
+        let marking = self.sys.sim().stats().delivered(Lane::Marking) - start_marking;
+        report.mark_events += marking;
+        report.reduction_events_during_marking +=
+            (self.sys.sim().stats().delivered_total() - start_total) - marking;
+    }
+
+    fn phase_t(&mut self, report: &mut CycleReport) {
+        dgr_core::driver::reset_slot(&mut self.sys.graph, Slot::T);
+        // Clear the activity stamps: `touched` now means "task activity
+        // at or after t_a", which the deadlock report consults.
+        let ids: Vec<_> = self.sys.graph.ids().collect();
+        for v in ids {
+            self.sys.graph.vertex_mut(v).touched = false;
+        }
+        let seeds = self.sys.pending_task_endpoints();
+        self.sys
+            .mark_state
+            .begin_t(seeds.seeds().len() as u32);
+        for &v in seeds.seeds() {
+            self.sys.send_mark(MarkMsg::Mark3 {
+                v,
+                par: MarkParent::TaskRootPar,
+            });
+        }
+        // The M_T pass runs SYNCHRONOUSLY: reduction tasks queue but do
+        // not execute, so T' is an exact snapshot of task reachability at
+        // t_a. This is the paper's own trade — Section 6 notes M_T
+        // "reduc[es] the throughput of the overall process" and recommends
+        // running it only occasionally (`mt_every`). An asynchronous M_T
+        // is unsound in this engine: a vertex completing mid-pass drains
+        // its `requested` set, cutting the backward chain the trace
+        // needed, and a passively-waiting ancestor would be misreported as
+        // deadlocked. M_R, which runs every cycle, stays fully concurrent.
+        let start_marking = self.sys.sim().stats().delivered(Lane::Marking);
+        let mut events = 0u64;
+        while !self.sys.mark_state.t_done {
+            if !self.sys.step_lane(Lane::Marking) {
+                assert!(
+                    self.sys.mark_state.t_done,
+                    "M_T drained without its termination signal"
+                );
+                break;
+            }
+            events += 1;
+            if events >= self.cfg.phase_budget {
+                report.aborted = true;
+                self.sys
+                    .sim_mut()
+                    .expunge(|_, _, msg| msg.as_red().is_some());
+                break;
+            }
+        }
+        report.mark_events += self.sys.sim().stats().delivered(Lane::Marking) - start_marking;
+        report.marked_t = self
+            .sys
+            .graph
+            .live_ids()
+            .filter(|&v| self.sys.graph.vertex(v).mt.is_marked())
+            .count();
+    }
+
+    fn phase_r(&mut self, report: &mut CycleReport) {
+        dgr_core::driver::reset_slot(&mut self.sys.graph, Slot::R);
+        let root = self.sys.graph.root().expect("GC needs a root");
+        self.sys.mark_state.begin_r(RMode::Priority);
+        self.sys.send_mark(MarkMsg::Mark2 {
+            v: root,
+            par: MarkParent::RootPar,
+            prior: Priority::Vital,
+        });
+        self.drive_phase(report, |s| s.mark_state.r_done);
+        report.marked_r = self
+            .sys
+            .graph
+            .live_ids()
+            .filter(|&v| self.sys.graph.vertex(v).mr.is_marked())
+            .count();
+    }
+
+    fn restructure(&mut self, report: &mut CycleReport, ran_mt: bool) {
+        report.census = classify_pending_tasks(&self.sys);
+        let garbage: VertexSet = garbage_vertices(&self.sys.graph);
+        if ran_mt {
+            report.deadlocked = deadlocked_vertices(&self.sys.graph);
+        }
+
+        if self.cfg.reclaim && !garbage.is_empty() {
+            // Purge reclaimed requesters from live `requested` sets so no
+            // value is ever returned to a recycled vertex.
+            let live: Vec<_> = self
+                .sys
+                .graph
+                .live_ids()
+                .filter(|&v| !garbage.contains(v))
+                .collect();
+            for v in live {
+                self.sys.graph.vertex_mut(v).retain_requesters(|r| match r {
+                    Requester::Vertex(x) => !garbage.contains(x),
+                    Requester::External => true,
+                });
+            }
+            for w in garbage.iter() {
+                self.sys.graph.free(w);
+            }
+            report.reclaimed = garbage.len();
+        }
+
+        if self.cfg.expunge {
+            // Property 6: tasks whose destination is garbage are
+            // irrelevant. Tasks whose *source* is garbage are dropped too:
+            // their reply targets may be recycled.
+            let dead = |v: dgr_graph::VertexId| garbage.contains(v);
+            report.expunged = self.sys.sim_mut().expunge(|_, _, msg| match msg.as_red() {
+                Some(RedMsg::Request { src, dst, .. }) => {
+                    !dead(*dst) && !src.as_vertex().is_some_and(dead)
+                }
+                Some(RedMsg::Return { src, dst, .. }) => {
+                    !dead(*src) && !dst.as_vertex().is_some_and(dead)
+                }
+                None => true,
+            });
+        }
+
+        if self.cfg.reprioritize {
+            // Effective priority = max(fresh M_R mark, current engine
+            // demand): the mark upgrades speculative work that proved
+            // needed, while the demand guards against marks that are
+            // stale-low for vertices demanded *during* the pass. Refresh
+            // every live vertex's demand (future spawns ride the right
+            // lane) and re-lane the pending tasks — the paper's dynamic
+            // prioritization.
+            let prio: Vec<Option<Priority>> = self
+                .sys
+                .graph
+                .ids()
+                .map(|v| {
+                    let vert = self.sys.graph.vertex(v);
+                    let s = vert.slot(Slot::R);
+                    s.is_marked().then(|| s.prior.max(vert.demand))
+                })
+                .collect();
+            let live: Vec<_> = self.sys.graph.live_ids().collect();
+            for v in live {
+                if let Some(p) = prio[v.index()] {
+                    self.sys.graph.vertex_mut(v).demand = p;
+                }
+            }
+            report.relaned = self.sys.sim_mut().relane(|_, lane, msg| {
+                if let Some(RedMsg::Request { dst, .. }) = msg.as_red() {
+                    if let Some(p) = prio[dst.index()] {
+                        return Lane::Reduction(p);
+                    }
+                }
+                lane
+            });
+        }
+
+        if self.cfg.deadlock_recovery {
+            for &v in &report.deadlocked.clone() {
+                let vert = self.sys.graph.vertex_mut(v);
+                if vert.value.is_some() {
+                    continue;
+                }
+                vert.value = Some(Value::Bottom);
+                vert.replace_args(Vec::new());
+                let requesters = vert.take_requested();
+                for r in requesters {
+                    self.sys.send_red(
+                        RedMsg::Return {
+                            src: v,
+                            dst: r,
+                            value: Value::Bottom,
+                        },
+                        Priority::Vital,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgr_graph::{GraphStore, NodeLabel, PrimOp, Template, TemplateNode, TemplateRef};
+    use dgr_reduction::{Builder, SystemConfig, TemplateStore};
+
+    /// sum(n) = if n == 0 then 0 else n + sum(n - 1).
+    fn sum_templates() -> (TemplateStore, u32) {
+        let mut ts = TemplateStore::new();
+        let tpl = Template::new(
+            "sum",
+            1,
+            vec![
+                TemplateNode::new(
+                    NodeLabel::If,
+                    vec![
+                        TemplateRef::Local(1),
+                        TemplateRef::Local(2),
+                        TemplateRef::Local(3),
+                    ],
+                ),
+                TemplateNode::new(
+                    NodeLabel::Prim(PrimOp::Eq),
+                    vec![TemplateRef::Param(0), TemplateRef::Local(2)],
+                ),
+                TemplateNode::new(NodeLabel::lit_int(0), vec![]),
+                TemplateNode::new(
+                    NodeLabel::Prim(PrimOp::Add),
+                    vec![TemplateRef::Param(0), TemplateRef::Local(4)],
+                ),
+                TemplateNode::new(
+                    NodeLabel::Apply,
+                    vec![TemplateRef::Local(5), TemplateRef::Local(6)],
+                ),
+                TemplateNode::new(NodeLabel::Lit(Value::Fn(0, vec![])), vec![]),
+                TemplateNode::new(
+                    NodeLabel::Prim(PrimOp::Sub),
+                    vec![TemplateRef::Param(0), TemplateRef::Local(7)],
+                ),
+                TemplateNode::new(NodeLabel::lit_int(1), vec![]),
+            ],
+        )
+        .unwrap();
+        let id = ts.register(tpl);
+        (ts, id)
+    }
+
+    fn sum_system(n: i64, cfg: SystemConfig) -> System {
+        let (ts, sum) = sum_templates();
+        let mut g = GraphStore::new();
+        let mut b = Builder::new(&mut g);
+        let f = b.fn_ref(sum);
+        let arg = b.int(n);
+        let root = b.apply(f, &[arg]);
+        g.set_root(root);
+        System::new(g, ts, cfg)
+    }
+
+    #[test]
+    fn gc_collects_while_reducing() {
+        let sys = sum_system(40, SystemConfig::default());
+        let mut gc = GcDriver::new(
+            sys,
+            GcConfig {
+                period: 50,
+                ..Default::default()
+            },
+        );
+        assert_eq!(gc.run(), RunOutcome::Value(Value::Int(820)));
+        assert!(gc.stats().cycles > 1, "multiple cycles ran");
+        assert!(gc.stats().reclaimed_total > 0, "garbage was reclaimed");
+        assert_eq!(gc.stats().aborted_cycles, 0);
+        assert!(gc.sys.graph.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn result_identical_with_and_without_gc() {
+        let mut plain = sum_system(25, SystemConfig::default());
+        let plain_out = plain.run();
+        let sys = sum_system(25, SystemConfig::default());
+        let mut gc = GcDriver::new(
+            sys,
+            GcConfig {
+                period: 17,
+                ..Default::default()
+            },
+        );
+        assert_eq!(gc.run(), plain_out);
+    }
+
+    #[test]
+    fn gc_with_speculation_and_random_schedules() {
+        for seed in 0..6 {
+            let cfg = SystemConfig {
+                speculation: true,
+                policy: dgr_sim::SchedPolicy::Random { marking_bias: 0.4 },
+                seed,
+                ..Default::default()
+            };
+            let sys = sum_system(15, cfg);
+            let mut gc = GcDriver::new(
+                sys,
+                GcConfig {
+                    period: 23,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                gc.run(),
+                RunOutcome::Value(Value::Int(120)),
+                "seed {seed}"
+            );
+            assert_eq!(gc.sys.stats.dangling_requests, 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reclaimed_vertices_are_reusable() {
+        let sys = sum_system(30, SystemConfig::default());
+        let mut gc = GcDriver::new(
+            sys,
+            GcConfig {
+                period: 40,
+                ..Default::default()
+            },
+        );
+        gc.run();
+        let free_after = gc.sys.graph.free_count();
+        assert!(free_after > 0);
+        // The root's value survives; everything else was collected.
+        let root = gc.sys.graph.root().unwrap();
+        assert_eq!(gc.sys.graph.vertex(root).value, Some(Value::Int(465)));
+    }
+
+    #[test]
+    fn deadlock_detected_without_recovery() {
+        // Figure 3-1: x = x + 1.
+        let mut g = GraphStore::with_capacity(8);
+        let x = g.alloc(NodeLabel::Prim(PrimOp::Add)).unwrap();
+        let one = g.alloc(NodeLabel::lit_int(1)).unwrap();
+        g.connect(x, x);
+        g.connect(x, one);
+        g.set_root(x);
+        let sys = System::new(g, TemplateStore::new(), SystemConfig::default());
+        let mut gc = GcDriver::new(sys, GcConfig::default());
+        assert_eq!(gc.run(), RunOutcome::Quiescent);
+        assert!(gc.stats().deadlocks_total > 0);
+        assert!(gc.last_report().deadlocked.contains(&x));
+    }
+
+    #[test]
+    fn deadlock_recovery_returns_bottom() {
+        let mut g = GraphStore::with_capacity(8);
+        let x = g.alloc(NodeLabel::Prim(PrimOp::Add)).unwrap();
+        let one = g.alloc(NodeLabel::lit_int(1)).unwrap();
+        g.connect(x, x);
+        g.connect(x, one);
+        g.set_root(x);
+        let sys = System::new(g, TemplateStore::new(), SystemConfig::default());
+        let mut gc = GcDriver::new(
+            sys,
+            GcConfig {
+                deadlock_recovery: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(gc.run(), RunOutcome::Value(Value::Bottom));
+    }
+
+    #[test]
+    fn speculative_irrelevant_tasks_are_expunged() {
+        // if true then 1 else sum(5000): the speculative else-branch
+        // workload becomes irrelevant the moment the predicate chooses.
+        let (ts, sum) = sum_templates();
+        let mut g = GraphStore::new();
+        let mut b = Builder::new(&mut g);
+        let p = b.bool_(true);
+        let t = b.int(1);
+        let f = b.fn_ref(sum);
+        let n = b.int(5000);
+        let e = b.apply(f, &[n]);
+        let root = b.if_(p, t, e);
+        g.set_root(root);
+        let cfg = SystemConfig {
+            speculation: true,
+            ..Default::default()
+        };
+        let sys = System::new(g, ts, cfg);
+        let mut gc = GcDriver::new(
+            sys,
+            GcConfig {
+                period: 30,
+                ..Default::default()
+            },
+        );
+        assert_eq!(gc.run(), RunOutcome::Value(Value::Int(1)));
+        assert!(gc.sys.stats.dereferences > 0, "the else branch was dropped");
+        // Keep collecting after the result: the orphaned speculative
+        // workload is expunged rather than run to completion.
+        let report = gc.run_cycle();
+        assert!(
+            report.expunged > 0 || gc.stats().expunged_total > 0,
+            "irrelevant tasks expunged"
+        );
+        assert_eq!(gc.sys.stats.dangling_requests, 0);
+    }
+
+    #[test]
+    fn census_sees_irrelevant_tasks_before_expunging() {
+        let (ts, sum) = sum_templates();
+        let mut g = GraphStore::new();
+        let mut b = Builder::new(&mut g);
+        let p = b.bool_(true);
+        let t = b.int(1);
+        let f = b.fn_ref(sum);
+        let n = b.int(5000);
+        let e = b.apply(f, &[n]);
+        let root = b.if_(p, t, e);
+        g.set_root(root);
+        let cfg = SystemConfig {
+            speculation: true,
+            ..Default::default()
+        };
+        let sys = System::new(g, ts, cfg);
+        let mut gc = GcDriver::new(
+            sys,
+            GcConfig {
+                period: 500,
+                reclaim: true,
+                expunge: false, // watch them pile up instead
+                ..Default::default()
+            },
+        );
+        gc.run();
+        let report = gc.run_cycle();
+        assert!(
+            report.census.irrelevant > 0,
+            "census: {:?}",
+            report.census
+        );
+    }
+
+    #[test]
+    fn mt_every_skips_task_marking() {
+        let sys = sum_system(30, SystemConfig::default());
+        let mut gc = GcDriver::new(
+            sys,
+            GcConfig {
+                period: 25,
+                mt_every: 3,
+                ..Default::default()
+            },
+        );
+        gc.run();
+        assert!(gc.stats().mt_cycles < gc.stats().cycles);
+        assert!(gc.stats().mt_cycles >= gc.stats().cycles / 3);
+    }
+
+    #[test]
+    fn wrong_phase_order_still_collects_garbage_safely() {
+        let sys = sum_system(30, SystemConfig::default());
+        let mut gc = GcDriver::new(
+            sys,
+            GcConfig {
+                period: 25,
+                order: CycleOrder::RBeforeT,
+                ..Default::default()
+            },
+        );
+        assert_eq!(gc.run(), RunOutcome::Value(Value::Int(465)));
+        assert!(gc.stats().reclaimed_total > 0);
+    }
+
+    #[test]
+    fn reprioritize_relanes_pending_requests() {
+        // A speculative branch that is then chosen: its queued tasks sit
+        // in the eager lane until a cycle re-lanes them to vital.
+        let (ts, sum) = sum_templates();
+        let mut g = GraphStore::new();
+        let mut b = Builder::new(&mut g);
+        let p = b.bool_(true);
+        let f = b.fn_ref(sum);
+        let n = b.int(2000);
+        let t = b.apply(f, &[n]); // chosen branch: long computation
+        let e = b.int(0);
+        let root = b.if_(p, t, e);
+        g.set_root(root);
+        // PriorityFirst starves the eager lane, so upgraded-but-unexecuted
+        // speculative requests are still pending when a cycle re-lanes
+        // them — the dynamic prioritization scenario of Section 3.2.
+        let cfg = SystemConfig {
+            speculation: true,
+            policy: dgr_sim::SchedPolicy::PriorityFirst,
+            ..Default::default()
+        };
+        let sys = System::new(g, ts, cfg);
+        let mut gc = GcDriver::new(
+            sys,
+            GcConfig {
+                period: 50,
+                ..Default::default()
+            },
+        );
+        let out = gc.run();
+        assert_eq!(out, RunOutcome::Value(Value::Int(2001000)));
+        assert!(gc.sys.stats.upgrades > 0, "eager arc upgraded to vital");
+        assert!(
+            gc.stats().relaned_total > 0,
+            "pending eager tasks were re-laned"
+        );
+    }
+}

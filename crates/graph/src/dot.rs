@@ -1,0 +1,217 @@
+//! Graphviz (DOT) export of computation-graph snapshots.
+//!
+//! Mirrors the paper's figure notation: solid arcs are `args`
+//! (annotated `•v` / `•e` when vitally / eagerly requested), dashed arcs
+//! point from a vertex to the parties in its `requested` set. Vertex fill
+//! encodes the `M_R` marking state (white = unmarked, gray = transient,
+//! green = marked), so a snapshot taken mid-cycle shows the marking wave.
+
+use std::fmt::Write as _;
+
+use crate::store::GraphStore;
+use crate::vertex::{Color, RequestKind, Requester, Slot};
+
+/// Options for [`to_dot`].
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Color vertices by their `M_R` / `M_T` marking state.
+    pub marks: Option<Slot>,
+    /// Include vertices on the free list.
+    pub include_free: bool,
+    /// Emit at most this many vertices (0 = unlimited).
+    pub max_vertices: usize,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            marks: Some(Slot::R),
+            include_free: false,
+            max_vertices: 0,
+        }
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the graph as DOT source.
+///
+/// # Example
+///
+/// ```
+/// use dgr_graph::{dot, GraphStore, NodeLabel, PrimOp};
+/// let mut g = GraphStore::with_capacity(2);
+/// let one = g.alloc(NodeLabel::lit_int(1)).unwrap();
+/// let neg = g.alloc(NodeLabel::Prim(PrimOp::Neg)).unwrap();
+/// g.connect(neg, one);
+/// g.set_root(neg);
+/// let src = dot::to_dot(&g, &dot::DotOptions::default());
+/// assert!(src.starts_with("digraph"));
+/// assert!(src.contains("v1 -> v0"));
+/// ```
+pub fn to_dot(g: &GraphStore, opts: &DotOptions) -> String {
+    let mut out = String::from("digraph computation {\n  rankdir=TB;\n  node [shape=circle fontsize=10];\n");
+    let mut emitted = 0usize;
+    for id in g.ids() {
+        if g.is_free(id) && !opts.include_free {
+            continue;
+        }
+        if opts.max_vertices > 0 && emitted >= opts.max_vertices {
+            let _ = writeln!(out, "  truncated [shape=plaintext label=\"…\"];");
+            break;
+        }
+        emitted += 1;
+        let v = g.vertex(id);
+        let mut label = format!("{id}\\n{}", esc(&v.label.to_string()));
+        if let Some(val) = &v.value {
+            let _ = write!(label, "\\n= {}", esc(&val.to_string()));
+        }
+        let fill = match opts.marks {
+            Some(slot) => match v.slot(slot).color {
+                Color::Unmarked => "white",
+                Color::Transient => "lightgray",
+                Color::Marked => "palegreen",
+            },
+            None => "white",
+        };
+        let shape = if g.is_free(id) { "box" } else { "circle" };
+        let peripheries = if g.root() == Some(id) { 2 } else { 1 };
+        let _ = writeln!(
+            out,
+            "  {id} [label=\"{label}\" style=filled fillcolor={fill} shape={shape} peripheries={peripheries}];"
+        );
+        for (i, &c) in v.args().iter().enumerate() {
+            let ann = match v.request_kinds()[i] {
+                Some(RequestKind::Vital) => " [label=\"•v\"]",
+                Some(RequestKind::Eager) => " [label=\"•e\" style=bold]",
+                None => "",
+            };
+            let _ = writeln!(out, "  {id} -> {c}{ann};");
+        }
+        for r in v.requested() {
+            if let Requester::Vertex(x) = r {
+                let _ = writeln!(out, "  {id} -> {x} [style=dashed color=gray];");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Convenience: DOT for the subgraph reachable from the root only.
+pub fn to_dot_reachable(g: &GraphStore, opts: &DotOptions) -> String {
+    let reach = crate::oracle::reachable_r(g);
+    let mut out = String::from("digraph computation {\n  rankdir=TB;\n  node [shape=circle fontsize=10];\n");
+    for id in g.ids().filter(|&v| reach.contains(v)) {
+        let v = g.vertex(id);
+        let fill = match opts.marks {
+            Some(slot) => match v.slot(slot).color {
+                Color::Unmarked => "white",
+                Color::Transient => "lightgray",
+                Color::Marked => "palegreen",
+            },
+            None => "white",
+        };
+        let _ = writeln!(
+            out,
+            "  {id} [label=\"{id}\\n{}\" style=filled fillcolor={fill}];",
+            esc(&v.label.to_string())
+        );
+        for &c in v.args() {
+            let _ = writeln!(out, "  {id} -> {c};");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Vertices rendered by [`to_dot`] under the given options (for sizing).
+pub fn rendered_count(g: &GraphStore, opts: &DotOptions) -> usize {
+    let candidates = g
+        .ids()
+        .filter(|&v| opts.include_free || !g.is_free(v))
+        .count();
+    if opts.max_vertices > 0 {
+        candidates.min(opts.max_vertices)
+    } else {
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VertexId;
+    use crate::label::{NodeLabel, PrimOp};
+
+    fn sample() -> (GraphStore, VertexId, VertexId) {
+        let mut g = GraphStore::with_capacity(4);
+        let one = g.alloc(NodeLabel::lit_int(1)).unwrap();
+        let add = g.alloc(NodeLabel::Prim(PrimOp::Add)).unwrap();
+        g.connect(add, one);
+        g.vertex_mut(add)
+            .set_request_kind(0, Some(RequestKind::Vital));
+        g.vertex_mut(one).add_requester(Requester::Vertex(add));
+        g.set_root(add);
+        (g, add, one)
+    }
+
+    #[test]
+    fn dot_contains_vertices_edges_and_annotations() {
+        let (g, add, one) = sample();
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.contains(&format!("{add} [")));
+        assert!(dot.contains(&format!("{add} -> {one} [label=\"•v\"]")));
+        assert!(dot.contains(&format!("{one} -> {add} [style=dashed")));
+        assert!(dot.contains("peripheries=2"), "root is highlighted");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn free_vertices_excluded_by_default() {
+        let (mut g, _, one) = sample();
+        g.disconnect(g.root().unwrap(), one);
+        g.vertex_mut(one).take_requested();
+        g.free(one);
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(!dot.contains(&format!("{one} [")));
+        let dot_all = to_dot(
+            &g,
+            &DotOptions {
+                include_free: true,
+                ..Default::default()
+            },
+        );
+        assert!(dot_all.contains(&format!("{one} [")));
+    }
+
+    #[test]
+    fn truncation_respected() {
+        let (g, ..) = sample();
+        let opts = DotOptions {
+            max_vertices: 1,
+            ..Default::default()
+        };
+        assert_eq!(rendered_count(&g, &opts), 1);
+        let dot = to_dot(&g, &opts);
+        assert!(dot.contains("truncated"));
+    }
+
+    #[test]
+    fn reachable_variant_only_renders_r() {
+        let (mut g, ..) = sample();
+        let stray = g.alloc(NodeLabel::lit_int(9)).unwrap();
+        let dot = to_dot_reachable(&g, &DotOptions::default());
+        assert!(!dot.contains(&format!("{stray} [")));
+    }
+
+    #[test]
+    fn marking_colors_reflected() {
+        let (mut g, add, _) = sample();
+        g.vertex_mut(add).mr.color = Color::Marked;
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.contains("palegreen"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Error types for graph operations.
+
+use std::fmt;
+
+use crate::ids::VertexId;
+
+/// Errors produced by [`GraphStore`](crate::GraphStore) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The free list `F` is exhausted and the store was not allowed to grow.
+    OutOfVertices {
+        /// How many vertices were requested.
+        requested: usize,
+        /// How many free vertices remained.
+        available: usize,
+    },
+    /// An operation referenced a vertex currently on the free list.
+    UseAfterFree(VertexId),
+    /// An operation referenced an index outside the store.
+    InvalidVertex(VertexId),
+    /// `add-reference(a, b, c)` was invoked with `b ∉ children(a)` or
+    /// `c ∉ children(b)` (the primitive is only defined for three adjacent
+    /// vertices).
+    NotAdjacent {
+        /// The vertex gaining the reference.
+        a: VertexId,
+        /// The intermediate vertex.
+        b: VertexId,
+        /// The grandchild being referenced.
+        c: VertexId,
+    },
+    /// A template referenced a parameter index beyond the supplied actuals.
+    BadTemplateParam {
+        /// The parameter index the template asked for.
+        index: usize,
+        /// How many actuals were supplied.
+        supplied: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::OutOfVertices {
+                requested,
+                available,
+            } => write!(
+                f,
+                "free list exhausted: requested {requested} vertices, {available} available"
+            ),
+            GraphError::UseAfterFree(v) => write!(f, "vertex {v} is on the free list"),
+            GraphError::InvalidVertex(v) => write!(f, "vertex {v} does not exist"),
+            GraphError::NotAdjacent { a, b, c } => write!(
+                f,
+                "add-reference requires adjacency: {b} must be a child of {a} and {c} a child of {b}"
+            ),
+            GraphError::BadTemplateParam { index, supplied } => write!(
+                f,
+                "template parameter {index} out of range ({supplied} actuals supplied)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::OutOfVertices {
+            requested: 4,
+            available: 1,
+        };
+        assert!(e.to_string().contains("free list exhausted"));
+        assert!(GraphError::UseAfterFree(VertexId::new(2))
+            .to_string()
+            .contains("v2"));
+        let na = GraphError::NotAdjacent {
+            a: VertexId::new(0),
+            b: VertexId::new(1),
+            c: VertexId::new(2),
+        };
+        assert!(na.to_string().contains("adjacency"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(GraphError::InvalidVertex(VertexId::new(9)));
+        assert!(e.to_string().contains("v9"));
+    }
+}

@@ -1,0 +1,479 @@
+//! The graph store: the vertex universe `V`, the free list `F`, the root,
+//! and the partition of vertices among processing elements.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::ids::{PeId, VertexId};
+use crate::label::NodeLabel;
+use crate::vertex::{Requester, Vertex};
+
+/// How vertices are assigned to processing elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionStrategy {
+    /// `v mod n`: neighboring indices land on different PEs (fine-grained,
+    /// maximizes task traffic between PEs).
+    Modulo,
+    /// Contiguous blocks of `⌈|V|/n⌉` indices per PE (coarse-grained,
+    /// minimizes cross-partition arcs for sequentially-allocated graphs).
+    Block,
+}
+
+/// Maps vertices to the processing element that owns them.
+///
+/// # Example
+///
+/// ```
+/// use dgr_graph::{PartitionMap, PartitionStrategy, VertexId};
+/// let p = PartitionMap::new(4, 100, PartitionStrategy::Modulo);
+/// assert_eq!(p.pe_of(VertexId::new(5)).index(), 1);
+/// assert_eq!(p.num_pes(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionMap {
+    num_pes: u16,
+    capacity: usize,
+    strategy: PartitionStrategy,
+}
+
+impl PartitionMap {
+    /// Creates a partition of `capacity` vertex slots over `num_pes` PEs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pes` is zero.
+    pub fn new(num_pes: u16, capacity: usize, strategy: PartitionStrategy) -> Self {
+        assert!(num_pes > 0, "a system needs at least one PE");
+        PartitionMap {
+            num_pes,
+            capacity,
+            strategy,
+        }
+    }
+
+    /// The PE owning vertex `v`.
+    pub fn pe_of(&self, v: VertexId) -> PeId {
+        let n = self.num_pes as usize;
+        match self.strategy {
+            PartitionStrategy::Modulo => PeId::new((v.index() % n) as u16),
+            PartitionStrategy::Block => {
+                let block = self.capacity.div_ceil(n).max(1);
+                PeId::new(((v.index() / block).min(n - 1)) as u16)
+            }
+        }
+    }
+
+    /// Number of processing elements.
+    pub fn num_pes(&self) -> u16 {
+        self.num_pes
+    }
+
+    /// The strategy in use.
+    pub fn strategy(&self) -> PartitionStrategy {
+        self.strategy
+    }
+}
+
+/// The computation-graph store: all vertices (the finite universe `V`), the
+/// free list `F`, and the distinguished root.
+///
+/// The store itself is runtime-agnostic data; the deterministic simulator
+/// holds one directly, and the threaded runtime shards it behind per-vertex
+/// locks (see `dgr-sim`).
+///
+/// # Example
+///
+/// ```
+/// use dgr_graph::{GraphStore, NodeLabel};
+/// # fn main() -> Result<(), dgr_graph::GraphError> {
+/// let mut g = GraphStore::with_capacity(4);
+/// assert_eq!(g.free_count(), 4);
+/// let a = g.alloc(NodeLabel::lit_int(1))?;
+/// assert_eq!(g.free_count(), 3);
+/// g.free(a);
+/// assert_eq!(g.free_count(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphStore {
+    verts: Vec<Vertex>,
+    free: Vec<VertexId>,
+    root: Option<VertexId>,
+}
+
+impl GraphStore {
+    /// Creates a store whose free list holds `capacity` fresh vertices.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut verts = Vec::with_capacity(capacity);
+        let mut free = Vec::with_capacity(capacity);
+        for i in 0..capacity {
+            let mut v = Vertex::default();
+            v.in_free_list = true;
+            verts.push(v);
+            free.push(VertexId::new(i as u32));
+        }
+        // Pop from the low end first so allocation order matches index order,
+        // which keeps examples and tests readable.
+        free.reverse();
+        GraphStore {
+            verts,
+            free,
+            root: None,
+        }
+    }
+
+    /// Creates an empty store (no capacity; grow with [`GraphStore::grow`]).
+    pub fn new() -> Self {
+        GraphStore::with_capacity(0)
+    }
+
+    /// Adds `extra` fresh vertices to the free list.
+    pub fn grow(&mut self, extra: usize) {
+        let start = self.verts.len();
+        for i in 0..extra {
+            let mut v = Vertex::default();
+            v.in_free_list = true;
+            self.verts.push(v);
+            self.free.push(VertexId::new((start + i) as u32));
+        }
+    }
+
+    /// Allocates a vertex from the free list `F` with the given label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::OutOfVertices`] if `F` is empty.
+    pub fn alloc(&mut self, label: NodeLabel) -> Result<VertexId, GraphError> {
+        let id = self.free.pop().ok_or(GraphError::OutOfVertices {
+            requested: 1,
+            available: 0,
+        })?;
+        let v = &mut self.verts[id.index()];
+        debug_assert!(v.in_free_list);
+        *v = Vertex::new(label);
+        Ok(id)
+    }
+
+    /// Allocates `n` vertices at once (all-or-nothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::OutOfVertices`] if fewer than `n` vertices are
+    /// free; in that case nothing is allocated.
+    pub fn alloc_many(&mut self, n: usize) -> Result<Vec<VertexId>, GraphError> {
+        if self.free.len() < n {
+            return Err(GraphError::OutOfVertices {
+                requested: n,
+                available: self.free.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = self.free.pop().expect("checked length");
+            self.verts[id.index()] = Vertex::new(NodeLabel::Hole);
+            out.push(id);
+        }
+        Ok(out)
+    }
+
+    /// Returns vertex `id` to the free list, clearing its contents.
+    ///
+    /// Freeing an already-free vertex is a no-op (the restructuring phase
+    /// may discover the same garbage vertex through several paths).
+    pub fn free(&mut self, id: VertexId) {
+        let v = &mut self.verts[id.index()];
+        if v.in_free_list {
+            return;
+        }
+        v.clear_for_free();
+        v.in_free_list = true;
+        self.free.push(id);
+    }
+
+    /// Shared access to a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn vertex(&self, id: VertexId) -> &Vertex {
+        &self.verts[id.index()]
+    }
+
+    /// Exclusive access to a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn vertex_mut(&mut self, id: VertexId) -> &mut Vertex {
+        &mut self.verts[id.index()]
+    }
+
+    /// Fallible shared access.
+    pub fn try_vertex(&self, id: VertexId) -> Result<&Vertex, GraphError> {
+        self.verts
+            .get(id.index())
+            .ok_or(GraphError::InvalidVertex(id))
+    }
+
+    /// The distinguished root vertex, if set.
+    pub fn root(&self) -> Option<VertexId> {
+        self.root
+    }
+
+    /// Declares `id` the root at which the reduction process is initiated.
+    pub fn set_root(&mut self, id: VertexId) {
+        self.root = Some(id);
+    }
+
+    /// Total number of vertex slots (`|V|`).
+    pub fn capacity(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// Number of vertices on the free list (`|F|`).
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of vertices *not* on the free list.
+    pub fn live_count(&self) -> usize {
+        self.verts.len() - self.free.len()
+    }
+
+    /// Whether `id` currently sits on the free list.
+    pub fn is_free(&self, id: VertexId) -> bool {
+        self.verts[id.index()].is_free()
+    }
+
+    /// Iterates over all vertex ids (free and allocated).
+    pub fn ids(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.verts.len() as u32).map(VertexId::new)
+    }
+
+    /// Iterates over allocated (non-free) vertex ids.
+    pub fn live_ids(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.ids().filter(move |&id| !self.is_free(id))
+    }
+
+    // ------------------------------------------------------------------
+    // Raw (non-cooperating) graph mutations. The *cooperating* versions
+    // that splice extra marking activity into the marking tree live in
+    // `dgr-core`; these are the bare `connect` / `disconnect` /
+    // `splice-in-subgraph` operations of Figure 4-2's prose.
+    // ------------------------------------------------------------------
+
+    /// `connect(a, b)`: adds `b` to `children(a)` (an unrequested arc).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vertex is out of range.
+    pub fn connect(&mut self, a: VertexId, b: VertexId) {
+        debug_assert!(!self.verts[b.index()].is_free(), "connecting to free {b}");
+        self.verts[a.index()].push_arg(b);
+    }
+
+    /// `disconnect(a, b)`: removes one occurrence of `b` from
+    /// `children(a)`. Returns `true` if an arc was removed.
+    pub fn disconnect(&mut self, a: VertexId, b: VertexId) -> bool {
+        self.verts[a.index()].remove_arg(b).is_some()
+    }
+
+    /// Removes `a` from `requested(b)` (the second half of the paper's
+    /// *dereference* of an eagerly-requested vertex).
+    pub fn remove_requester(&mut self, b: VertexId, a: Requester) -> bool {
+        self.verts[b.index()].remove_requester(a)
+    }
+
+    /// Decomposes the store into its vertices, free list and root, for
+    /// conversion into a shared (per-vertex-locked) representation by a
+    /// parallel runtime.
+    pub fn into_parts(self) -> (Vec<Vertex>, Vec<VertexId>, Option<VertexId>) {
+        (self.verts, self.free, self.root)
+    }
+
+    /// Rebuilds a store from parts produced by [`GraphStore::into_parts`]
+    /// (or assembled by a parallel runtime). Free-list flags are
+    /// resynchronized from the `free` vector.
+    pub fn from_parts(
+        mut verts: Vec<Vertex>,
+        free: Vec<VertexId>,
+        root: Option<VertexId>,
+    ) -> Self {
+        for v in verts.iter_mut() {
+            v.in_free_list = false;
+        }
+        for &id in &free {
+            verts[id.index()].in_free_list = true;
+        }
+        GraphStore { verts, free, root }
+    }
+
+    /// Verifies store-wide structural invariants (for tests): parallel
+    /// vectors consistent, free-list flags in sync, arcs target real slots.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        for id in self.ids() {
+            let v = self.vertex(id);
+            if !v.check_consistency() {
+                return Err(format!("{id}: parallel vectors out of sync"));
+            }
+            for &a in v.args() {
+                if a.index() >= self.verts.len() {
+                    return Err(format!("{id}: arc to nonexistent {a}"));
+                }
+            }
+        }
+        let mut free_flags = 0usize;
+        for id in self.ids() {
+            if self.is_free(id) {
+                free_flags += 1;
+            }
+        }
+        if free_flags != self.free.len() {
+            return Err(format!(
+                "free-list length {} disagrees with {} flagged vertices",
+                self.free.len(),
+                free_flags
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for GraphStore {
+    fn default() -> Self {
+        GraphStore::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::PrimOp;
+    use crate::vertex::RequestKind;
+
+    #[test]
+    fn alloc_pops_low_indices_first() {
+        let mut g = GraphStore::with_capacity(3);
+        let a = g.alloc(NodeLabel::Hole).unwrap();
+        let b = g.alloc(NodeLabel::Hole).unwrap();
+        assert_eq!(a, VertexId::new(0));
+        assert_eq!(b, VertexId::new(1));
+    }
+
+    #[test]
+    fn alloc_exhaustion_errors() {
+        let mut g = GraphStore::with_capacity(1);
+        g.alloc(NodeLabel::Hole).unwrap();
+        let err = g.alloc(NodeLabel::Hole).unwrap_err();
+        assert!(matches!(err, GraphError::OutOfVertices { .. }));
+    }
+
+    #[test]
+    fn alloc_many_is_all_or_nothing() {
+        let mut g = GraphStore::with_capacity(3);
+        assert!(g.alloc_many(4).is_err());
+        assert_eq!(g.free_count(), 3);
+        let ids = g.alloc_many(3).unwrap();
+        assert_eq!(ids.len(), 3);
+        assert_eq!(g.free_count(), 0);
+    }
+
+    #[test]
+    fn free_clears_and_recycles() {
+        let mut g = GraphStore::with_capacity(2);
+        let a = g.alloc(NodeLabel::Prim(PrimOp::Add)).unwrap();
+        let b = g.alloc(NodeLabel::lit_int(1)).unwrap();
+        g.connect(a, b);
+        g.free(a);
+        assert!(g.is_free(a));
+        assert!(g.vertex(a).label.is_hole());
+        assert!(g.vertex(a).args().is_empty());
+        // Double free is a no-op.
+        g.free(a);
+        assert_eq!(g.free_count(), 1);
+        let again = g.alloc(NodeLabel::If).unwrap();
+        assert_eq!(again, a, "freed slot is reused");
+    }
+
+    #[test]
+    fn grow_extends_free_list() {
+        let mut g = GraphStore::with_capacity(1);
+        g.alloc(NodeLabel::Hole).unwrap();
+        g.grow(5);
+        assert_eq!(g.capacity(), 6);
+        assert_eq!(g.free_count(), 5);
+        assert!(g.alloc(NodeLabel::Hole).is_ok());
+    }
+
+    #[test]
+    fn connect_disconnect_roundtrip() {
+        let mut g = GraphStore::with_capacity(3);
+        let a = g.alloc(NodeLabel::Prim(PrimOp::Add)).unwrap();
+        let b = g.alloc(NodeLabel::lit_int(2)).unwrap();
+        g.connect(a, b);
+        g.connect(a, b); // multiset arc
+        assert_eq!(g.vertex(a).args(), &[b, b]);
+        assert!(g.disconnect(a, b));
+        assert_eq!(g.vertex(a).args(), &[b]);
+        assert!(g.disconnect(a, b));
+        assert!(!g.disconnect(a, b));
+    }
+
+    #[test]
+    fn remove_requester_via_store() {
+        let mut g = GraphStore::with_capacity(2);
+        let a = g.alloc(NodeLabel::If).unwrap();
+        let b = g.alloc(NodeLabel::lit_int(0)).unwrap();
+        g.vertex_mut(b).add_requester(Requester::Vertex(a));
+        assert!(g.remove_requester(b, Requester::Vertex(a)));
+        assert!(!g.remove_requester(b, Requester::Vertex(a)));
+    }
+
+    #[test]
+    fn live_ids_excludes_free() {
+        let mut g = GraphStore::with_capacity(3);
+        let a = g.alloc(NodeLabel::Hole).unwrap();
+        let b = g.alloc(NodeLabel::Hole).unwrap();
+        g.free(a);
+        let live: Vec<_> = g.live_ids().collect();
+        assert_eq!(live, vec![b]);
+        assert_eq!(g.live_count(), 1);
+    }
+
+    #[test]
+    fn consistency_check_passes_on_sane_store() {
+        let mut g = GraphStore::with_capacity(4);
+        let a = g.alloc(NodeLabel::Prim(PrimOp::Add)).unwrap();
+        let b = g.alloc(NodeLabel::lit_int(1)).unwrap();
+        g.connect(a, b);
+        g.vertex_mut(a).set_request_kind(0, Some(RequestKind::Vital));
+        g.set_root(a);
+        assert!(g.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn partition_modulo() {
+        let p = PartitionMap::new(4, 16, PartitionStrategy::Modulo);
+        assert_eq!(p.pe_of(VertexId::new(0)).index(), 0);
+        assert_eq!(p.pe_of(VertexId::new(7)).index(), 3);
+        assert_eq!(p.pe_of(VertexId::new(9)).index(), 1);
+    }
+
+    #[test]
+    fn partition_block() {
+        let p = PartitionMap::new(4, 16, PartitionStrategy::Block);
+        assert_eq!(p.pe_of(VertexId::new(0)).index(), 0);
+        assert_eq!(p.pe_of(VertexId::new(3)).index(), 0);
+        assert_eq!(p.pe_of(VertexId::new(4)).index(), 1);
+        assert_eq!(p.pe_of(VertexId::new(15)).index(), 3);
+        // Out-of-range indices clamp to the last PE rather than panic.
+        assert_eq!(p.pe_of(VertexId::new(100)).index(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn partition_requires_a_pe() {
+        let _ = PartitionMap::new(0, 4, PartitionStrategy::Modulo);
+    }
+}

@@ -1,0 +1,146 @@
+//! Abstract syntax.
+
+use dgr_graph::PrimOp;
+
+/// Binary operators, mapped to strict [`PrimOp`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// The strict primitive implementing this operator.
+    pub fn prim(self) -> PrimOp {
+        match self {
+            BinOp::Add => PrimOp::Add,
+            BinOp::Sub => PrimOp::Sub,
+            BinOp::Mul => PrimOp::Mul,
+            BinOp::Div => PrimOp::Div,
+            BinOp::Mod => PrimOp::Mod,
+            BinOp::Eq => PrimOp::Eq,
+            BinOp::Ne => PrimOp::Ne,
+            BinOp::Lt => PrimOp::Lt,
+            BinOp::Le => PrimOp::Le,
+            BinOp::Gt => PrimOp::Gt,
+            BinOp::Ge => PrimOp::Ge,
+            BinOp::And => PrimOp::And,
+            BinOp::Or => PrimOp::Or,
+        }
+    }
+}
+
+/// One binding of a `let`/`let rec`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binding {
+    /// The bound name.
+    pub name: String,
+    /// The bound expression.
+    pub expr: Expr,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// The empty list.
+    Nil,
+    /// A variable (or builtin name: `cons`, `head`, `tail`, `isnil`,
+    /// `not`, `neg`).
+    Var(String),
+    /// A binary operation.
+    BinOp(BinOp, Box<Expr>, Box<Expr>),
+    /// A conditional.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// A lambda abstraction.
+    Lam(Vec<String>, Box<Expr>),
+    /// An application `f x1 … xn`.
+    App(Box<Expr>, Vec<Expr>),
+    /// `let`/`let rec` with one or more bindings.
+    Let {
+        /// `true` for `let rec`.
+        rec: bool,
+        /// The bindings, in order.
+        binds: Vec<Binding>,
+        /// The body.
+        body: Box<Expr>,
+    },
+    /// A list literal `[a, b, c]` (sugar for cons chains).
+    List(Vec<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for an application.
+    pub fn app(f: Expr, args: Vec<Expr>) -> Expr {
+        Expr::App(Box::new(f), args)
+    }
+
+    /// Convenience constructor for a variable.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+}
+
+/// Builtin function names and their arities.
+pub(crate) const BUILTINS: &[(&str, usize)] = &[
+    ("cons", 2),
+    ("head", 1),
+    ("tail", 1),
+    ("isnil", 1),
+    ("not", 1),
+    ("neg", 1),
+];
+
+/// Arity of a builtin, if `name` is one.
+pub(crate) fn builtin_arity(name: &str) -> Option<usize> {
+    BUILTINS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, a)| a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_prims() {
+        assert_eq!(BinOp::Add.prim(), PrimOp::Add);
+        assert_eq!(BinOp::Le.prim(), PrimOp::Le);
+        assert_eq!(BinOp::Or.prim(), PrimOp::Or);
+    }
+
+    #[test]
+    fn builtins() {
+        assert_eq!(builtin_arity("cons"), Some(2));
+        assert_eq!(builtin_arity("head"), Some(1));
+        assert_eq!(builtin_arity("map"), None);
+    }
+}

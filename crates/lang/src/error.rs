@@ -1,0 +1,77 @@
+//! Front-end errors.
+
+use std::fmt;
+
+/// Errors produced while lexing, parsing, or compiling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// An unexpected character in the source.
+    Lex {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+        /// The offending character.
+        found: char,
+    },
+    /// A malformed construct.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A variable was used outside any binding.
+    Unbound {
+        /// The variable name.
+        name: String,
+    },
+    /// A name was bound twice in the same binding group or parameter list.
+    Duplicate {
+        /// The duplicated name.
+        name: String,
+    },
+    /// Compilation produced an invalid template (internal error).
+    Compile {
+        /// Description of the inconsistency.
+        message: String,
+    },
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { line, col, found } => {
+                write!(f, "unexpected character {found:?} at {line}:{col}")
+            }
+            LangError::Parse { line, col, message } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            LangError::Unbound { name } => write!(f, "unbound variable `{name}`"),
+            LangError::Duplicate { name } => write!(f, "duplicate binding `{name}`"),
+            LangError::Compile { message } => write!(f, "compilation error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_position() {
+        let e = LangError::Parse {
+            line: 3,
+            col: 7,
+            message: "expected `in`".into(),
+        };
+        assert!(e.to_string().contains("3:7"));
+        assert!(LangError::Unbound { name: "x".into() }
+            .to_string()
+            .contains("`x`"));
+    }
+}

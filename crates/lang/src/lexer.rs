@@ -1,0 +1,425 @@
+//! Tokenizer.
+
+use crate::error::LangError;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An integer literal.
+    Int(i64),
+    /// An identifier (or builtin name).
+    Ident(String),
+    /// `let`
+    Let,
+    /// `rec`
+    Rec,
+    /// `in`
+    In,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `nil`
+    Nil,
+    /// `\`
+    Lambda,
+    /// `->`
+    Arrow,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+}
+
+/// Tokenizes `src`. Comments run from `#` to end of line.
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] on an unexpected character.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let (mut line, mut col) = (1usize, 1usize);
+
+    macro_rules! push {
+        ($kind:expr, $c:expr) => {
+            out.push(Token {
+                kind: $kind,
+                line,
+                col: $c,
+            })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        let start_col = col;
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                chars.next();
+                col += 1;
+            }
+            '#' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                    col += 1;
+                }
+            }
+            '0'..='9' => {
+                let mut n: i64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n.wrapping_mul(10).wrapping_add(v as i64);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push!(TokenKind::Int(n), start_col);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '\'' {
+                        s.push(d);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let kind = match s.as_str() {
+                    "let" => TokenKind::Let,
+                    "rec" => TokenKind::Rec,
+                    "in" => TokenKind::In,
+                    "if" => TokenKind::If,
+                    "then" => TokenKind::Then,
+                    "else" => TokenKind::Else,
+                    "true" => TokenKind::True,
+                    "false" => TokenKind::False,
+                    "nil" => TokenKind::Nil,
+                    _ => TokenKind::Ident(s),
+                };
+                push!(kind, start_col);
+            }
+            '\\' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::Lambda, start_col);
+            }
+            '(' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::LParen, start_col);
+            }
+            ')' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::RParen, start_col);
+            }
+            '[' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::LBracket, start_col);
+            }
+            ']' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::RBracket, start_col);
+            }
+            ',' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::Comma, start_col);
+            }
+            ';' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::Semi, start_col);
+            }
+            '+' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::Plus, start_col);
+            }
+            '*' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::Star, start_col);
+            }
+            '/' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::Slash, start_col);
+            }
+            '%' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::Percent, start_col);
+            }
+            '-' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    col += 1;
+                    push!(TokenKind::Arrow, start_col);
+                } else {
+                    push!(TokenKind::Minus, start_col);
+                }
+            }
+            '=' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    col += 1;
+                    push!(TokenKind::EqEq, start_col);
+                } else {
+                    push!(TokenKind::Assign, start_col);
+                }
+            }
+            '!' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    col += 1;
+                    push!(TokenKind::NotEq, start_col);
+                } else {
+                    return Err(LangError::Lex {
+                        line,
+                        col: start_col,
+                        found: '!',
+                    });
+                }
+            }
+            '<' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    col += 1;
+                    push!(TokenKind::Le, start_col);
+                } else {
+                    push!(TokenKind::Lt, start_col);
+                }
+            }
+            '>' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    col += 1;
+                    push!(TokenKind::Ge, start_col);
+                } else {
+                    push!(TokenKind::Gt, start_col);
+                }
+            }
+            '&' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'&') {
+                    chars.next();
+                    col += 1;
+                    push!(TokenKind::AndAnd, start_col);
+                } else {
+                    return Err(LangError::Lex {
+                        line,
+                        col: start_col,
+                        found: '&',
+                    });
+                }
+            }
+            '|' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'|') {
+                    chars.next();
+                    col += 1;
+                    push!(TokenKind::OrOr, start_col);
+                } else {
+                    return Err(LangError::Lex {
+                        line,
+                        col: start_col,
+                        found: '|',
+                    });
+                }
+            }
+            other => {
+                return Err(LangError::Lex {
+                    line,
+                    col: start_col,
+                    found: other,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("let rec foo in"),
+            vec![
+                TokenKind::Let,
+                TokenKind::Rec,
+                TokenKind::Ident("foo".into()),
+                TokenKind::In
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_operators() {
+        assert_eq!(
+            kinds("1 + 23 * x"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Plus,
+                TokenKind::Int(23),
+                TokenKind::Star,
+                TokenKind::Ident("x".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= && || ->"),
+            vec![
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Arrow
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_vs_arrow() {
+        assert_eq!(
+            kinds("x - 1"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Minus,
+                TokenKind::Int(1)
+            ]
+        );
+        assert_eq!(kinds("->"), vec![TokenKind::Arrow]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("1 # a comment\n2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2)]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn lex_error_reports_position() {
+        let err = lex("a @").unwrap_err();
+        assert_eq!(
+            err,
+            LangError::Lex {
+                line: 1,
+                col: 3,
+                found: '@'
+            }
+        );
+    }
+
+    #[test]
+    fn lone_ampersand_rejected() {
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn primes_in_identifiers() {
+        assert_eq!(kinds("x'"), vec![TokenKind::Ident("x'".into())]);
+    }
+}

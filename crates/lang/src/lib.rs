@@ -1,0 +1,120 @@
+//! A mini lazy functional language compiled to supercombinator templates
+//! for distributed graph reduction.
+//!
+//! The paper motivates its model with the λ-calculus and combinator
+//! reduction; this crate provides that front end: a small language with
+//! lambdas, `let`/`let rec`, conditionals, lists and integer arithmetic,
+//! compiled by **lambda lifting** into the supercombinator
+//! [`Template`](dgr_graph::Template)s that the reduction engine splices in
+//! with `expand-node`.
+//!
+//! ```text
+//! program := expr
+//! expr    := let [rec] x = e; ... in e
+//!          | \x y -> e
+//!          | if e then e else e
+//!          | e || e | e && e | e == e | e < e | ...
+//!          | e1 e2 ...        (application)
+//!          | 42 | true | nil | x | (e) | [e, e, ...]
+//! ```
+//!
+//! Recursive data (`let rec ones = cons 1 ones in …`) compiles to a
+//! template with a cyclic local reference, producing the self-referencing
+//! structures whose reclamation defeats reference counting (the paper's
+//! Section 4 argument).
+//!
+//! # Example
+//!
+//! ```
+//! use dgr_lang::eval_source;
+//! use dgr_reduction::{RunOutcome, SystemConfig};
+//! use dgr_graph::Value;
+//!
+//! let out = eval_source(
+//!     "let rec fib = \\n -> if n < 2 then n else fib (n-1) + fib (n-2)
+//!      in fib 10",
+//!     SystemConfig::default(),
+//! ).unwrap();
+//! assert_eq!(out, RunOutcome::Value(Value::Int(55)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod compile;
+mod error;
+mod lexer;
+mod lift;
+mod parser;
+mod prelude;
+mod pretty;
+
+pub use ast::{BinOp, Expr};
+pub use compile::{compile_program, CompiledProgram};
+pub use error::LangError;
+pub use lexer::{lex, Token};
+pub use parser::parse;
+pub use prelude::PRELUDE;
+pub use pretty::pretty;
+
+use dgr_graph::GraphStore;
+use dgr_reduction::{RunOutcome, System, SystemConfig};
+
+/// Parses, compiles and installs `src` into a fresh [`System`].
+///
+/// # Errors
+///
+/// Returns a [`LangError`] for lexical, syntactic or scoping problems.
+pub fn build_system(src: &str, config: SystemConfig) -> Result<System, LangError> {
+    let program = compile_program(src)?;
+    let mut g = GraphStore::new();
+    let root = program.install(&mut g)?;
+    g.set_root(root);
+    Ok(System::new(g, program.templates, config))
+}
+
+/// Parses, compiles and evaluates `src` to completion.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] if the source does not compile.
+pub fn eval_source(src: &str, config: SystemConfig) -> Result<RunOutcome, LangError> {
+    let mut sys = build_system(src, config)?;
+    Ok(sys.run())
+}
+
+/// Like [`eval_source`], but with the [`PRELUDE`] (map, filter, fold,
+/// range, …) in scope.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] if the source does not compile.
+///
+/// # Example
+///
+/// ```
+/// use dgr_lang::eval_with_prelude;
+/// use dgr_reduction::{RunOutcome, SystemConfig};
+/// use dgr_graph::Value;
+///
+/// let out = eval_with_prelude(
+///     "sum (map (\\x -> x * x) (range 1 5))",
+///     SystemConfig::default(),
+/// ).unwrap();
+/// assert_eq!(out, RunOutcome::Value(Value::Int(55)));
+/// ```
+pub fn eval_with_prelude(src: &str, config: SystemConfig) -> Result<RunOutcome, LangError> {
+    let full = format!("{PRELUDE}\nin ({src})");
+    eval_source(&full, config)
+}
+
+/// Builds a system with the prelude in scope without running it.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] if the source does not compile.
+pub fn build_with_prelude(src: &str, config: SystemConfig) -> Result<System, LangError> {
+    let full = format!("{PRELUDE}\nin ({src})");
+    build_system(&full, config)
+}

@@ -1,0 +1,667 @@
+//! Lambda lifting: turning nested lambdas into supercombinators.
+//!
+//! Binders are first alpha-renamed to globally unique names (so capture is
+//! name-safe), then every lambda becomes a supercombinator whose extra
+//! leading parameters are its free variables; mutually recursive function
+//! groups get their free-variable sets by fixpoint iteration, and
+//! recursive *data* bindings survive as `let rec` over graph nodes (the
+//! source of cyclic structures).
+
+use std::collections::{HashMap, HashSet};
+
+use dgr_graph::PrimOp;
+
+use crate::ast::{builtin_arity, BinOp, Binding, Expr};
+use crate::error::LangError;
+
+/// Lifted expression: no lambdas; supercombinator references instead.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum LExpr {
+    Int(i64),
+    Bool(bool),
+    Nil,
+    Var(String),
+    ScRef(usize),
+    Prim(PrimOp, Vec<LExpr>),
+    Cons(Box<LExpr>, Box<LExpr>),
+    If(Box<LExpr>, Box<LExpr>, Box<LExpr>),
+    App(Box<LExpr>, Vec<LExpr>),
+    LetData {
+        rec: bool,
+        binds: Vec<(String, LExpr)>,
+        body: Box<LExpr>,
+    },
+}
+
+/// A supercombinator: a closed function of its parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Sc {
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: LExpr,
+}
+
+/// The result of lifting a program.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Lifted {
+    pub scs: Vec<Sc>,
+    pub main: usize,
+}
+
+/// Lifts a program.
+pub(crate) fn lift(program: &Expr) -> Result<Lifted, LangError> {
+    let unique = uniquify(program)?;
+    let mut lifter = Lifter {
+        scs: Vec::new(),
+        wrappers: HashMap::new(),
+        subst: HashMap::new(),
+    };
+    let body = lifter.lift_expr(&unique)?;
+    let main = lifter.push_sc(Sc {
+        name: "main".into(),
+        params: Vec::new(),
+        body,
+    });
+    let scs = lifter
+        .scs
+        .into_iter()
+        .map(|o| o.expect("all reserved slots filled"))
+        .collect();
+    Ok(Lifted { scs, main })
+}
+
+// ---------------------------------------------------------------------
+// Alpha renaming
+// ---------------------------------------------------------------------
+
+struct Renamer {
+    counter: usize,
+}
+
+impl Renamer {
+    fn fresh(&mut self, base: &str) -> String {
+        self.counter += 1;
+        format!("{base}${}", self.counter)
+    }
+}
+
+fn uniquify(e: &Expr) -> Result<Expr, LangError> {
+    let mut r = Renamer { counter: 0 };
+    rename(e, &HashMap::new(), &mut r)
+}
+
+fn bind_names<'a>(
+    names: impl Iterator<Item = &'a str>,
+    env: &HashMap<String, String>,
+    r: &mut Renamer,
+) -> Result<HashMap<String, String>, LangError> {
+    let mut out = env.clone();
+    let mut seen = HashSet::new();
+    for n in names {
+        if !seen.insert(n.to_string()) {
+            return Err(LangError::Duplicate { name: n.into() });
+        }
+        out.insert(n.to_string(), r.fresh(n));
+    }
+    Ok(out)
+}
+
+fn rename(e: &Expr, env: &HashMap<String, String>, r: &mut Renamer) -> Result<Expr, LangError> {
+    Ok(match e {
+        Expr::Int(n) => Expr::Int(*n),
+        Expr::Bool(b) => Expr::Bool(*b),
+        Expr::Nil => Expr::Nil,
+        Expr::Var(x) => {
+            if let Some(u) = env.get(x) {
+                Expr::Var(u.clone())
+            } else if builtin_arity(x).is_some() {
+                Expr::Var(x.clone())
+            } else {
+                return Err(LangError::Unbound { name: x.clone() });
+            }
+        }
+        Expr::BinOp(op, l, rr) => Expr::BinOp(
+            *op,
+            Box::new(rename(l, env, r)?),
+            Box::new(rename(rr, env, r)?),
+        ),
+        Expr::If(p, t, el) => Expr::If(
+            Box::new(rename(p, env, r)?),
+            Box::new(rename(t, env, r)?),
+            Box::new(rename(el, env, r)?),
+        ),
+        Expr::Lam(ps, body) => {
+            let inner = bind_names(ps.iter().map(|s| s.as_str()), env, r)?;
+            let ps2 = ps.iter().map(|p| inner[p].clone()).collect();
+            Expr::Lam(ps2, Box::new(rename(body, &inner, r)?))
+        }
+        Expr::App(f, args) => {
+            let f2 = rename(f, env, r)?;
+            let args2 = args
+                .iter()
+                .map(|a| rename(a, env, r))
+                .collect::<Result<_, _>>()?;
+            Expr::App(Box::new(f2), args2)
+        }
+        Expr::List(items) => Expr::List(
+            items
+                .iter()
+                .map(|i| rename(i, env, r))
+                .collect::<Result<_, _>>()?,
+        ),
+        Expr::Let { rec, binds, body } => {
+            let inner = bind_names(binds.iter().map(|b| b.name.as_str()), env, r)?;
+            let bind_env = if *rec { &inner } else { env };
+            // Non-recursive bindings see only the outer scope (including
+            // earlier bindings — but to keep scoping simple and
+            // predictable, each non-rec binding sees the outer scope
+            // only; use `let rec` for sequential dependencies).
+            let binds2 = binds
+                .iter()
+                .map(|b| {
+                    Ok(Binding {
+                        name: inner[&b.name].clone(),
+                        expr: rename(&b.expr, bind_env, r)?,
+                    })
+                })
+                .collect::<Result<Vec<_>, LangError>>()?;
+            Expr::Let {
+                rec: *rec,
+                binds: binds2,
+                body: Box::new(rename(body, &inner, r)?),
+            }
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Free variables
+// ---------------------------------------------------------------------
+
+type Subst = HashMap<String, (usize, Vec<String>)>;
+
+fn add_unique(acc: &mut Vec<String>, x: &str) {
+    if !acc.iter().any(|a| a == x) {
+        acc.push(x.to_string());
+    }
+}
+
+/// Free variables of `e` (order of first occurrence), where names bound in
+/// `bound` are skipped, substituted supercombinator names contribute their
+/// captured variables, and builtins contribute nothing.
+fn free_vars(e: &Expr, bound: &mut Vec<String>, subst: &Subst, acc: &mut Vec<String>) {
+    match e {
+        Expr::Int(_) | Expr::Bool(_) | Expr::Nil => {}
+        Expr::Var(x) => {
+            if bound.iter().any(|b| b == x) {
+                return;
+            }
+            if let Some((_, caps)) = subst.get(x) {
+                for c in caps {
+                    add_unique(acc, c);
+                }
+            } else if builtin_arity(x).is_none() {
+                add_unique(acc, x);
+            }
+        }
+        Expr::BinOp(_, l, r) => {
+            free_vars(l, bound, subst, acc);
+            free_vars(r, bound, subst, acc);
+        }
+        Expr::If(p, t, e2) => {
+            free_vars(p, bound, subst, acc);
+            free_vars(t, bound, subst, acc);
+            free_vars(e2, bound, subst, acc);
+        }
+        Expr::Lam(ps, body) => {
+            let n = bound.len();
+            bound.extend(ps.iter().cloned());
+            free_vars(body, bound, subst, acc);
+            bound.truncate(n);
+        }
+        Expr::App(f, args) => {
+            free_vars(f, bound, subst, acc);
+            for a in args {
+                free_vars(a, bound, subst, acc);
+            }
+        }
+        Expr::List(items) => {
+            for i in items {
+                free_vars(i, bound, subst, acc);
+            }
+        }
+        Expr::Let { rec, binds, body } => {
+            let n = bound.len();
+            if *rec {
+                bound.extend(binds.iter().map(|b| b.name.clone()));
+                for b in binds {
+                    free_vars(&b.expr, bound, subst, acc);
+                }
+            } else {
+                for b in binds {
+                    free_vars(&b.expr, bound, subst, acc);
+                }
+                bound.extend(binds.iter().map(|b| b.name.clone()));
+            }
+            free_vars(body, bound, subst, acc);
+            bound.truncate(n);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lifting proper
+// ---------------------------------------------------------------------
+
+struct Lifter {
+    scs: Vec<Option<Sc>>,
+    wrappers: HashMap<String, usize>,
+    /// Names bound to supercombinators: name → (sc id, captured vars).
+    /// Flat (names are globally unique after alpha renaming).
+    subst: Subst,
+}
+
+impl Lifter {
+    fn push_sc(&mut self, sc: Sc) -> usize {
+        self.scs.push(Some(sc));
+        self.scs.len() - 1
+    }
+
+    fn reserve_sc(&mut self) -> usize {
+        self.scs.push(None);
+        self.scs.len() - 1
+    }
+
+    /// An eta-expanded wrapper supercombinator for a builtin used as a
+    /// value (e.g. `map (cons 0) xss` needs `cons` as a function value).
+    fn wrapper(&mut self, name: &str) -> usize {
+        if let Some(&id) = self.wrappers.get(name) {
+            return id;
+        }
+        let arity = builtin_arity(name).expect("only builtins get wrappers");
+        let params: Vec<String> = (0..arity).map(|i| format!("${name}{i}")).collect();
+        let args: Vec<LExpr> = params.iter().map(|p| LExpr::Var(p.clone())).collect();
+        let body = builtin_node(name, args);
+        let id = self.push_sc(Sc {
+            name: format!("${name}"),
+            params,
+            body,
+        });
+        self.wrappers.insert(name.to_string(), id);
+        id
+    }
+
+    fn sc_use(&self, id: usize, caps: &[String]) -> LExpr {
+        if caps.is_empty() {
+            LExpr::ScRef(id)
+        } else {
+            LExpr::App(
+                Box::new(LExpr::ScRef(id)),
+                caps.iter().map(|c| LExpr::Var(c.clone())).collect(),
+            )
+        }
+    }
+
+    fn lift_lambda(
+        &mut self,
+        name: String,
+        reserved: usize,
+        caps: Vec<String>,
+        params: &[String],
+        body: &Expr,
+    ) -> Result<(), LangError> {
+        let body = self.lift_expr(body)?;
+        let mut all_params = caps;
+        all_params.extend(params.iter().cloned());
+        self.scs[reserved] = Some(Sc {
+            name,
+            params: all_params,
+            body,
+        });
+        Ok(())
+    }
+
+    fn lift_expr(&mut self, e: &Expr) -> Result<LExpr, LangError> {
+        Ok(match e {
+            Expr::Int(n) => LExpr::Int(*n),
+            Expr::Bool(b) => LExpr::Bool(*b),
+            Expr::Nil => LExpr::Nil,
+            Expr::Var(x) => {
+                if let Some((id, caps)) = self.subst.get(x).cloned() {
+                    self.sc_use(id, &caps)
+                } else if builtin_arity(x).is_some() {
+                    LExpr::ScRef(self.wrapper(x))
+                } else {
+                    LExpr::Var(x.clone())
+                }
+            }
+            Expr::BinOp(op, l, r) => LExpr::Prim(
+                binop_prim(*op),
+                vec![self.lift_expr(l)?, self.lift_expr(r)?],
+            ),
+            Expr::If(p, t, e2) => LExpr::If(
+                Box::new(self.lift_expr(p)?),
+                Box::new(self.lift_expr(t)?),
+                Box::new(self.lift_expr(e2)?),
+            ),
+            Expr::List(items) => {
+                let mut out = LExpr::Nil;
+                for item in items.iter().rev() {
+                    out = LExpr::Cons(Box::new(self.lift_expr(item)?), Box::new(out));
+                }
+                out
+            }
+            Expr::Lam(ps, body) => {
+                let mut caps = Vec::new();
+                free_vars(e, &mut Vec::new(), &self.subst, &mut caps);
+                let reserved = self.reserve_sc();
+                let name = format!("lam#{reserved}");
+                self.lift_lambda(name, reserved, caps.clone(), ps, body)?;
+                self.sc_use(reserved, &caps)
+            }
+            Expr::App(f, args) => {
+                if let Expr::Var(b) = f.as_ref() {
+                    if self.subst.get(b).is_none() {
+                        if let Some(arity) = builtin_arity(b) {
+                            return self.lift_builtin_app(b, arity, args);
+                        }
+                    }
+                }
+                let f2 = self.lift_expr(f)?;
+                let args2: Vec<LExpr> = args
+                    .iter()
+                    .map(|a| self.lift_expr(a))
+                    .collect::<Result<_, _>>()?;
+                app_merge(f2, args2)
+            }
+            Expr::Let { rec: false, binds, body } => {
+                let binds2 = binds
+                    .iter()
+                    .map(|b| Ok((b.name.clone(), self.lift_expr(&b.expr)?)))
+                    .collect::<Result<Vec<_>, LangError>>()?;
+                LExpr::LetData {
+                    rec: false,
+                    binds: binds2,
+                    body: Box::new(self.lift_expr(body)?),
+                }
+            }
+            Expr::Let { rec: true, binds, body } => self.lift_letrec(binds, body)?,
+        })
+    }
+
+    fn lift_builtin_app(
+        &mut self,
+        name: &str,
+        arity: usize,
+        args: &[Expr],
+    ) -> Result<LExpr, LangError> {
+        if args.len() < arity {
+            // Under-applied builtin: partial application of the wrapper.
+            let id = self.wrapper(name);
+            let args2: Vec<LExpr> = args
+                .iter()
+                .map(|a| self.lift_expr(a))
+                .collect::<Result<_, _>>()?;
+            return Ok(LExpr::App(Box::new(LExpr::ScRef(id)), args2));
+        }
+        let direct: Vec<LExpr> = args[..arity]
+            .iter()
+            .map(|a| self.lift_expr(a))
+            .collect::<Result<_, _>>()?;
+        let node = builtin_node(name, direct);
+        if args.len() == arity {
+            Ok(node)
+        } else {
+            // Over-applied: the builtin's result is applied to the rest.
+            let rest: Vec<LExpr> = args[arity..]
+                .iter()
+                .map(|a| self.lift_expr(a))
+                .collect::<Result<_, _>>()?;
+            Ok(LExpr::App(Box::new(node), rest))
+        }
+    }
+
+    fn lift_letrec(&mut self, binds: &[Binding], body: &Expr) -> Result<LExpr, LangError> {
+        // Partition: lambda bindings become supercombinators; the rest are
+        // (possibly cyclic) data bindings compiled as graph nodes.
+        let lambda_binds: Vec<&Binding> =
+            binds.iter().filter(|b| matches!(b.expr, Expr::Lam(..))).collect();
+        let data_binds: Vec<&Binding> =
+            binds.iter().filter(|b| !matches!(b.expr, Expr::Lam(..))).collect();
+
+        // Fixpoint free-variable computation for the function group: a
+        // function capturing f also needs f's captures.
+        let group: Vec<String> = lambda_binds.iter().map(|b| b.name.clone()).collect();
+        let mut base: Vec<Vec<String>> = Vec::new();
+        let mut deps: Vec<Vec<usize>> = Vec::new();
+        for b in &lambda_binds {
+            let mut bound = group.clone();
+            let mut fv = Vec::new();
+            free_vars(&b.expr, &mut bound, &self.subst, &mut fv);
+            base.push(fv);
+            // Which group members does this body mention?
+            let mut mentions = Vec::new();
+            let mut all = Vec::new();
+            free_vars(&b.expr, &mut Vec::new(), &Subst::new(), &mut all);
+            for (j, g) in group.iter().enumerate() {
+                if all.iter().any(|x| x == g) {
+                    mentions.push(j);
+                }
+            }
+            deps.push(mentions);
+        }
+        let mut fvs = base.clone();
+        loop {
+            let mut changed = false;
+            for i in 0..fvs.len() {
+                for &j in &deps[i] {
+                    let extra: Vec<String> = fvs[j]
+                        .iter()
+                        .filter(|x| !fvs[i].contains(x))
+                        .cloned()
+                        .collect();
+                    if !extra.is_empty() {
+                        fvs[i].extend(extra);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Reserve ids and register substitutions before lifting bodies so
+        // recursive references resolve.
+        let mut reserved = Vec::new();
+        for (i, b) in lambda_binds.iter().enumerate() {
+            let id = self.reserve_sc();
+            reserved.push(id);
+            self.subst
+                .insert(b.name.clone(), (id, fvs[i].clone()));
+        }
+        for (i, b) in lambda_binds.iter().enumerate() {
+            let Expr::Lam(ps, lam_body) = &b.expr else {
+                unreachable!("partitioned above")
+            };
+            self.lift_lambda(
+                b.name.clone(),
+                reserved[i],
+                fvs[i].clone(),
+                ps,
+                lam_body,
+            )?;
+        }
+
+        let data2 = data_binds
+            .iter()
+            .map(|b| Ok((b.name.clone(), self.lift_expr(&b.expr)?)))
+            .collect::<Result<Vec<_>, LangError>>()?;
+        let body2 = self.lift_expr(body)?;
+        if data2.is_empty() {
+            Ok(body2)
+        } else {
+            Ok(LExpr::LetData {
+                rec: true,
+                binds: data2,
+                body: Box::new(body2),
+            })
+        }
+    }
+}
+
+/// Merges nested applications: `App(App(f, xs), ys)` → `App(f, xs ++ ys)`
+/// (the engine handles over- and under-saturation uniformly).
+fn app_merge(f: LExpr, mut args: Vec<LExpr>) -> LExpr {
+    match f {
+        LExpr::App(inner, mut inner_args) => {
+            inner_args.append(&mut args);
+            LExpr::App(inner, inner_args)
+        }
+        other => LExpr::App(Box::new(other), args),
+    }
+}
+
+fn builtin_node(name: &str, mut args: Vec<LExpr>) -> LExpr {
+    match name {
+        "cons" => {
+            let t = args.pop().expect("cons arity 2");
+            let h = args.pop().expect("cons arity 2");
+            LExpr::Cons(Box::new(h), Box::new(t))
+        }
+        "head" => LExpr::Prim(PrimOp::Head, args),
+        "tail" => LExpr::Prim(PrimOp::Tail, args),
+        "isnil" => LExpr::Prim(PrimOp::IsNil, args),
+        "not" => LExpr::Prim(PrimOp::Not, args),
+        "neg" => LExpr::Prim(PrimOp::Neg, args),
+        other => unreachable!("unknown builtin {other}"),
+    }
+}
+
+fn binop_prim(op: BinOp) -> PrimOp {
+    op.prim()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn lift_src(src: &str) -> Lifted {
+        lift(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn plain_expression_is_main_only() {
+        let l = lift_src("1 + 2");
+        assert_eq!(l.scs.len(), 1);
+        assert_eq!(l.scs[l.main].name, "main");
+        assert!(l.scs[l.main].params.is_empty());
+    }
+
+    #[test]
+    fn lambda_becomes_supercombinator() {
+        let l = lift_src("(\\x -> x + 1) 5");
+        assert_eq!(l.scs.len(), 2);
+        let sc = l.scs.iter().find(|s| s.name != "main").unwrap();
+        assert_eq!(sc.params.len(), 1);
+    }
+
+    #[test]
+    fn free_variables_are_captured() {
+        let l = lift_src("let y = 10 in (\\x -> x + y) 5");
+        let sc = l.scs.iter().find(|s| s.name.starts_with("lam#")).unwrap();
+        assert_eq!(sc.params.len(), 2, "captured y plus parameter x");
+        assert!(sc.params[0].starts_with("y$"));
+    }
+
+    #[test]
+    fn recursive_function_references_own_id() {
+        let l = lift_src("let rec f = \\n -> if n == 0 then 0 else f (n - 1) in f 3");
+        // f has no captures, so its body applies ScRef of itself.
+        let f = l.scs.iter().find(|s| s.name.starts_with("f$")).unwrap();
+        assert_eq!(f.params.len(), 1);
+    }
+
+    #[test]
+    fn mutual_recursion_fixpoint_captures() {
+        // even/odd capture k transitively: odd uses k, even only calls odd.
+        let l = lift_src(
+            "let k = 1 in
+             let rec even = \\n -> if n == 0 then true else odd (n - k);
+                     odd  = \\n -> if n == 0 then false else even (n - k)
+             in even 4",
+        );
+        let even = l.scs.iter().find(|s| s.name.starts_with("even$")).unwrap();
+        let odd = l.scs.iter().find(|s| s.name.starts_with("odd$")).unwrap();
+        assert_eq!(even.params.len(), 2, "k captured transitively: {:?}", even.params);
+        assert_eq!(odd.params.len(), 2);
+    }
+
+    #[test]
+    fn builtin_as_value_gets_wrapper() {
+        let l = lift_src("(\\f -> f 1 nil) cons");
+        assert!(l.scs.iter().any(|s| s.name == "$cons"));
+    }
+
+    #[test]
+    fn saturated_builtin_is_direct_node() {
+        let l = lift_src("head [1]");
+        // No wrapper generated.
+        assert!(!l.scs.iter().any(|s| s.name == "$head"));
+    }
+
+    #[test]
+    fn recursive_data_stays_as_let() {
+        let l = lift_src("let rec ones = cons 1 ones in head ones");
+        let main = &l.scs[l.main];
+        assert!(
+            matches!(main.body, LExpr::LetData { rec: true, .. }),
+            "{:?}",
+            main.body
+        );
+    }
+
+    #[test]
+    fn shadowing_is_capture_safe() {
+        // The f captured y=1; the inner \y must not capture-confuse.
+        let l = lift_src("let y = 1 in let f = \\x -> x + y in (\\y -> f y) 10");
+        // Two lambdas lifted; the one for f captures y$1.
+        assert_eq!(l.scs.len(), 3);
+    }
+
+    #[test]
+    fn unbound_variable_rejected() {
+        assert!(matches!(
+            lift(&parse("x + 1").unwrap()),
+            Err(LangError::Unbound { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_params_rejected() {
+        assert!(matches!(
+            lift(&parse("\\x x -> x").unwrap()),
+            Err(LangError::Duplicate { .. })
+        ));
+        assert!(matches!(
+            lift(&parse("let a = 1; a = 2 in a").unwrap()),
+            Err(LangError::Duplicate { .. })
+        ));
+    }
+
+    #[test]
+    fn app_merge_flattens() {
+        let merged = app_merge(
+            LExpr::App(Box::new(LExpr::ScRef(0)), vec![LExpr::Int(1)]),
+            vec![LExpr::Int(2)],
+        );
+        assert_eq!(
+            merged,
+            LExpr::App(
+                Box::new(LExpr::ScRef(0)),
+                vec![LExpr::Int(1), LExpr::Int(2)]
+            )
+        );
+    }
+}

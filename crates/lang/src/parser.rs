@@ -1,0 +1,356 @@
+//! Recursive-descent parser with precedence climbing.
+
+use crate::ast::{BinOp, Binding, Expr};
+use crate::error::LangError;
+use crate::lexer::{lex, Token, TokenKind};
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+/// Parses a program (a single expression).
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] or [`LangError::Parse`] on malformed input.
+pub fn parse(src: &str) -> Result<Expr, LangError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    if p.pos != p.toks.len() {
+        return Err(p.err_here("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.toks.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn next(&mut self) -> Option<TokenKind> {
+        let t = self.toks.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, msg: &str) -> LangError {
+        let (line, col) = self
+            .toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| (t.line, t.col))
+            .unwrap_or((1, 1));
+        LangError::Parse {
+            line,
+            col,
+            message: msg.to_string(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), LangError> {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err_here(&format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, LangError> {
+        match self.next() {
+            Some(TokenKind::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err_here(&format!("expected {what}")))
+            }
+        }
+    }
+
+    /// Full expression: `let`, `if` and lambda extend maximally to the
+    /// right; otherwise an operator expression.
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        match self.peek() {
+            Some(TokenKind::Let) => self.let_expr(),
+            Some(TokenKind::Lambda) => self.lambda(),
+            Some(TokenKind::If) => self.if_expr(),
+            _ => self.binary(0),
+        }
+    }
+
+    fn let_expr(&mut self) -> Result<Expr, LangError> {
+        self.expect(&TokenKind::Let, "`let`")?;
+        let rec = if self.peek() == Some(&TokenKind::Rec) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let mut binds = Vec::new();
+        loop {
+            let name = self.ident("binding name")?;
+            self.expect(&TokenKind::Assign, "`=`")?;
+            let expr = self.expr()?;
+            binds.push(Binding { name, expr });
+            match self.peek() {
+                Some(TokenKind::Semi) => {
+                    self.pos += 1;
+                }
+                Some(TokenKind::In) => break,
+                _ => return Err(self.err_here("expected `;` or `in`")),
+            }
+        }
+        self.expect(&TokenKind::In, "`in`")?;
+        let body = self.expr()?;
+        Ok(Expr::Let {
+            rec,
+            binds,
+            body: Box::new(body),
+        })
+    }
+
+    fn lambda(&mut self) -> Result<Expr, LangError> {
+        self.expect(&TokenKind::Lambda, "`\\`")?;
+        let mut params = vec![self.ident("parameter")?];
+        while let Some(TokenKind::Ident(_)) = self.peek() {
+            params.push(self.ident("parameter")?);
+        }
+        self.expect(&TokenKind::Arrow, "`->`")?;
+        let body = self.expr()?;
+        Ok(Expr::Lam(params, Box::new(body)))
+    }
+
+    fn if_expr(&mut self) -> Result<Expr, LangError> {
+        self.expect(&TokenKind::If, "`if`")?;
+        let p = self.expr()?;
+        self.expect(&TokenKind::Then, "`then`")?;
+        let t = self.expr()?;
+        self.expect(&TokenKind::Else, "`else`")?;
+        let e = self.expr()?;
+        Ok(Expr::If(Box::new(p), Box::new(t), Box::new(e)))
+    }
+
+    /// Operator precedence levels, loosest first.
+    fn binop_at(&self, level: usize) -> Option<BinOp> {
+        let k = self.peek()?;
+        let op = match (level, k) {
+            (0, TokenKind::OrOr) => BinOp::Or,
+            (1, TokenKind::AndAnd) => BinOp::And,
+            (2, TokenKind::EqEq) => BinOp::Eq,
+            (2, TokenKind::NotEq) => BinOp::Ne,
+            (2, TokenKind::Lt) => BinOp::Lt,
+            (2, TokenKind::Le) => BinOp::Le,
+            (2, TokenKind::Gt) => BinOp::Gt,
+            (2, TokenKind::Ge) => BinOp::Ge,
+            (3, TokenKind::Plus) => BinOp::Add,
+            (3, TokenKind::Minus) => BinOp::Sub,
+            (4, TokenKind::Star) => BinOp::Mul,
+            (4, TokenKind::Slash) => BinOp::Div,
+            (4, TokenKind::Percent) => BinOp::Mod,
+            _ => return None,
+        };
+        Some(op)
+    }
+
+    fn binary(&mut self, level: usize) -> Result<Expr, LangError> {
+        if level > 4 {
+            return self.application();
+        }
+        let mut lhs = self.binary(level + 1)?;
+        while let Some(op) = self.binop_at(level) {
+            self.pos += 1;
+            // `1 + if p then a else b` style right-hand sides are allowed.
+            let rhs = match self.peek() {
+                Some(TokenKind::If) => self.if_expr()?,
+                Some(TokenKind::Let) => self.let_expr()?,
+                Some(TokenKind::Lambda) => self.lambda()?,
+                _ => self.binary(level + 1)?,
+            };
+            lhs = Expr::BinOp(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn application(&mut self) -> Result<Expr, LangError> {
+        let f = self.atom()?;
+        let mut args = Vec::new();
+        while self.starts_atom() {
+            args.push(self.atom()?);
+        }
+        if args.is_empty() {
+            Ok(f)
+        } else {
+            Ok(Expr::app(f, args))
+        }
+    }
+
+    fn starts_atom(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(
+                TokenKind::Int(_)
+                    | TokenKind::Ident(_)
+                    | TokenKind::True
+                    | TokenKind::False
+                    | TokenKind::Nil
+                    | TokenKind::LParen
+                    | TokenKind::LBracket
+            )
+        )
+    }
+
+    fn atom(&mut self) -> Result<Expr, LangError> {
+        match self.next() {
+            Some(TokenKind::Int(n)) => Ok(Expr::Int(n)),
+            Some(TokenKind::True) => Ok(Expr::Bool(true)),
+            Some(TokenKind::False) => Ok(Expr::Bool(false)),
+            Some(TokenKind::Nil) => Ok(Expr::Nil),
+            Some(TokenKind::Ident(s)) => Ok(Expr::Var(s)),
+            Some(TokenKind::LParen) => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(TokenKind::LBracket) => {
+                let mut items = Vec::new();
+                if self.peek() != Some(&TokenKind::RBracket) {
+                    loop {
+                        items.push(self.expr()?);
+                        match self.peek() {
+                            Some(TokenKind::Comma) => {
+                                self.pos += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RBracket, "`]`")?;
+                Ok(Expr::List(items))
+            }
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err_here("expected an expression"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence() {
+        // 1 + 2 * 3 == 7 && true
+        let e = parse("1 + 2 * 3 == 7 && true").unwrap();
+        // top level is &&
+        match e {
+            Expr::BinOp(BinOp::And, l, r) => {
+                assert_eq!(*r, Expr::Bool(true));
+                match *l {
+                    Expr::BinOp(BinOp::Eq, ll, _) => match *ll {
+                        Expr::BinOp(BinOp::Add, _, mul) => {
+                            assert!(matches!(*mul, Expr::BinOp(BinOp::Mul, _, _)));
+                        }
+                        other => panic!("wanted +, got {other:?}"),
+                    },
+                    other => panic!("wanted ==, got {other:?}"),
+                }
+            }
+            other => panic!("wanted &&, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_associativity() {
+        let e = parse("10 - 3 - 2").unwrap();
+        match e {
+            Expr::BinOp(BinOp::Sub, l, r) => {
+                assert_eq!(*r, Expr::Int(2));
+                assert!(matches!(*l, Expr::BinOp(BinOp::Sub, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn application_binds_tighter_than_operators() {
+        let e = parse("f x + g y").unwrap();
+        match e {
+            Expr::BinOp(BinOp::Add, l, r) => {
+                assert!(matches!(*l, Expr::App(..)));
+                assert!(matches!(*r, Expr::App(..)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn lambda_and_application() {
+        let e = parse("(\\x y -> x + y) 1 2").unwrap();
+        match e {
+            Expr::App(f, args) => {
+                assert_eq!(args.len(), 2);
+                assert!(matches!(*f, Expr::Lam(ref p, _) if p == &["x", "y"]));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn let_with_multiple_bindings() {
+        let e = parse("let rec a = 1; b = a in b").unwrap();
+        match e {
+            Expr::Let { rec, binds, .. } => {
+                assert!(rec);
+                assert_eq!(binds.len(), 2);
+                assert_eq!(binds[0].name, "a");
+                assert_eq!(binds[1].name, "b");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_extends_right() {
+        let e = parse("if true then 1 else 2 + 3").unwrap();
+        match e {
+            Expr::If(_, _, els) => assert!(matches!(*els, Expr::BinOp(BinOp::Add, _, _))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_rhs_may_be_if() {
+        let e = parse("1 + if true then 2 else 3").unwrap();
+        assert!(matches!(e, Expr::BinOp(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn list_literals() {
+        assert_eq!(
+            parse("[1, 2]").unwrap(),
+            Expr::List(vec![Expr::Int(1), Expr::Int(2)])
+        );
+        assert_eq!(parse("[]").unwrap(), Expr::List(vec![]));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("let x = in x").is_err());
+        assert!(parse("if true then 1").is_err());
+        assert!(parse("(1 + 2").is_err());
+        assert!(parse("1 2 3 )").is_err());
+        assert!(parse("\\ -> 1").is_err());
+    }
+
+    #[test]
+    fn error_position_is_useful() {
+        match parse("let x = 1\nin (") {
+            Err(LangError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! The standard prelude.
+
+/// Standard functions available to [`eval_with_prelude`](crate::eval_with_prelude):
+/// a `let rec` binding group (without the final `in`), so callers append
+/// `in <expr>`.
+///
+/// Lists are lazy (a cons cell is in weak head normal form without
+/// evaluating either component), so `take 3 (nats 0)` over the infinite
+/// list of naturals terminates.
+pub const PRELUDE: &str = r#"
+let rec
+  map = \f xs -> if isnil xs then nil else cons (f (head xs)) (map f (tail xs));
+  filter = \p xs -> if isnil xs then nil
+                    else if p (head xs) then cons (head xs) (filter p (tail xs))
+                    else filter p (tail xs);
+  foldl = \f acc xs -> if isnil xs then acc else foldl f (f acc (head xs)) (tail xs);
+  sum = \xs -> foldl (\a b -> a + b) 0 xs;
+  product = \xs -> foldl (\a b -> a * b) 1 xs;
+  length = \xs -> if isnil xs then 0 else 1 + length (tail xs);
+  append = \xs ys -> if isnil xs then ys else cons (head xs) (append (tail xs) ys);
+  range = \a b -> if a > b then nil else cons a (range (a + 1) b);
+  nats = \n -> cons n (nats (n + 1));
+  take = \n xs -> if n == 0 then nil
+                  else if isnil xs then nil
+                  else cons (head xs) (take (n - 1) (tail xs));
+  drop = \n xs -> if n == 0 then xs
+                  else if isnil xs then nil
+                  else drop (n - 1) (tail xs);
+  nth = \n xs -> if n == 0 then head xs else nth (n - 1) (tail xs);
+  replicate = \n x -> if n == 0 then nil else cons x (replicate (n - 1) x);
+  reverse = \xs -> foldl (\acc x -> cons x acc) nil xs;
+  max2 = \a b -> if a > b then a else b;
+  min2 = \a b -> if a < b then a else b;
+  compose = \f g x -> f (g x);
+  twice = \f x -> f (f x);
+  fib = \n -> if n < 2 then n else fib (n - 1) + fib (n - 2);
+  nfib = \n -> if n < 2 then 1 else nfib (n - 1) + nfib (n - 2) + 1;
+  fact = \n -> if n == 0 then 1 else n * fact (n - 1);
+  gcd = \a b -> if b == 0 then a else gcd b (a % b);
+  even = \n -> n % 2 == 0;
+  odd = \n -> n % 2 == 1
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_program;
+
+    #[test]
+    fn prelude_compiles() {
+        let full = format!("{PRELUDE}\nin 0");
+        let p = compile_program(&full).unwrap();
+        assert!(p.templates.len() > 20, "one template per function");
+    }
+}

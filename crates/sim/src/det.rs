@@ -1,0 +1,456 @@
+//! The deterministic event simulator.
+
+use std::collections::VecDeque;
+
+use dgr_graph::PeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::msg::{Envelope, Lane};
+use crate::stats::SimStats;
+
+/// How the simulator picks the next task to execute.
+///
+/// All policies are deterministic given the seed passed to
+/// [`DetSim::new`]. Varying the seed of [`SchedPolicy::Random`] explores
+/// different interleavings of marking, mutation and reduction — the space
+/// the paper's informal proofs quantify over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedPolicy {
+    /// Globally oldest message first (breadth-first propagation).
+    Fifo,
+    /// Globally newest message first (depth-first propagation).
+    Lifo,
+    /// Rotate among PEs that have work; oldest message within the PE.
+    RoundRobin,
+    /// Uniformly random choice among pending messages, except that marking
+    /// messages are chosen with probability `marking_bias` when both
+    /// marking and non-marking work is pending (`0.5` = unbiased).
+    Random {
+        /// Probability of preferring the marking lane when both kinds of
+        /// work exist. `0.0` starves marking; `1.0` runs marking eagerly.
+        marking_bias: f64,
+    },
+    /// Highest-preference lane first ([`Lane::ALL`] order), rotating among
+    /// PEs within a lane. Models a scheduler that favors mutator
+    /// notifications, then marking, then vital reduction work.
+    PriorityFirst,
+}
+
+/// A deterministic multi-PE message-passing simulator.
+///
+/// Each PE has one mailbox per [`Lane`]; [`DetSim::send`] enqueues,
+/// [`DetSim::next_event`] dequeues according to the policy. Executing the
+/// returned message is the caller's job — the simulator only owns delivery
+/// order, so the same simulator drives marking, reduction, and combined
+/// workloads.
+#[derive(Debug)]
+pub struct DetSim<M> {
+    pes: Vec<[VecDeque<(u64, M)>; 5]>,
+    policy: SchedPolicy,
+    rng: StdRng,
+    seq: u64,
+    pending: usize,
+    rr_cursor: usize,
+    stats: SimStats,
+}
+
+impl<M> DetSim<M> {
+    /// Creates a simulator with `num_pes` processing elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pes` is zero.
+    pub fn new(num_pes: u16, policy: SchedPolicy, seed: u64) -> Self {
+        assert!(num_pes > 0, "a system needs at least one PE");
+        DetSim {
+            pes: (0..num_pes).map(|_| Default::default()).collect(),
+            policy,
+            rng: StdRng::seed_from_u64(seed),
+            seq: 0,
+            pending: 0,
+            rr_cursor: 0,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Number of processing elements.
+    pub fn num_pes(&self) -> u16 {
+        self.pes.len() as u16
+    }
+
+    /// Enqueues a message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination PE does not exist.
+    pub fn send(&mut self, env: Envelope<M>) {
+        let q = &mut self.pes[env.dst.index()][env.lane.index()];
+        q.push_back((self.seq, env.msg));
+        self.seq += 1;
+        self.pending += 1;
+        self.stats.record_send(env.lane);
+        self.stats.observe_depth(self.pending);
+    }
+
+    /// Number of pending messages.
+    pub fn len(&self) -> usize {
+        self.pending
+    }
+
+    /// Returns `true` if no messages are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Delivery statistics so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Picks, removes and returns the next message per the policy, or
+    /// `None` when the system is quiescent.
+    pub fn next_event(&mut self) -> Option<(PeId, Lane, M)> {
+        if self.pending == 0 {
+            return None;
+        }
+        let (pe, lane) = match self.policy {
+            SchedPolicy::Fifo => self.pick_extreme(false)?,
+            SchedPolicy::Lifo => self.pick_extreme(true)?,
+            SchedPolicy::RoundRobin => self.pick_round_robin()?,
+            SchedPolicy::Random { marking_bias } => self.pick_random(marking_bias)?,
+            SchedPolicy::PriorityFirst => self.pick_priority_first()?,
+        };
+        let deque = &mut self.pes[pe.index()][lane.index()];
+        let (_, msg) = if matches!(self.policy, SchedPolicy::Lifo) {
+            deque.pop_back()?
+        } else {
+            deque.pop_front()?
+        };
+        self.pending -= 1;
+        self.stats.record_deliver(lane);
+        Some((pe, lane, msg))
+    }
+
+    fn pick_extreme(&self, newest: bool) -> Option<(PeId, Lane)> {
+        let mut best: Option<(u64, PeId, Lane)> = None;
+        for (p, lanes) in self.pes.iter().enumerate() {
+            for lane in Lane::ALL {
+                let q = &lanes[lane.index()];
+                let cand = if newest {
+                    q.back().map(|&(s, _)| s)
+                } else {
+                    q.front().map(|&(s, _)| s)
+                };
+                if let Some(s) = cand {
+                    let better = match best {
+                        None => true,
+                        Some((bs, _, _)) => {
+                            if newest {
+                                s > bs
+                            } else {
+                                s < bs
+                            }
+                        }
+                    };
+                    if better {
+                        best = Some((s, PeId::new(p as u16), lane));
+                    }
+                }
+            }
+        }
+        best.map(|(_, p, l)| (p, l))
+    }
+
+    fn pick_round_robin(&mut self) -> Option<(PeId, Lane)> {
+        let n = self.pes.len();
+        for off in 0..n {
+            let p = (self.rr_cursor + off) % n;
+            // Oldest message within the PE, across lanes.
+            let mut best: Option<(u64, Lane)> = None;
+            for lane in Lane::ALL {
+                if let Some(&(s, _)) = self.pes[p][lane.index()].front() {
+                    if best.map_or(true, |(bs, _)| s < bs) {
+                        best = Some((s, lane));
+                    }
+                }
+            }
+            if let Some((_, lane)) = best {
+                self.rr_cursor = (p + 1) % n;
+                return Some((PeId::new(p as u16), lane));
+            }
+        }
+        None
+    }
+
+    fn pick_random(&mut self, marking_bias: f64) -> Option<(PeId, Lane)> {
+        let mut marking: Vec<(usize, Lane)> = Vec::new();
+        let mut other: Vec<(usize, Lane)> = Vec::new();
+        for (p, lanes) in self.pes.iter().enumerate() {
+            for lane in Lane::ALL {
+                if !lanes[lane.index()].is_empty() {
+                    if lane == Lane::Marking {
+                        marking.push((p, lane));
+                    } else {
+                        other.push((p, lane));
+                    }
+                }
+            }
+        }
+        let pool = if marking.is_empty() {
+            &other
+        } else if other.is_empty() {
+            &marking
+        } else if self.rng.gen_bool(marking_bias.clamp(0.0, 1.0)) {
+            &marking
+        } else {
+            &other
+        };
+        if pool.is_empty() {
+            return None;
+        }
+        let (p, lane) = pool[self.rng.gen_range(0..pool.len())];
+        Some((PeId::new(p as u16), lane))
+    }
+
+    fn pick_priority_first(&mut self) -> Option<(PeId, Lane)> {
+        let n = self.pes.len();
+        for lane in Lane::ALL {
+            for off in 0..n {
+                let p = (self.rr_cursor + off) % n;
+                if !self.pes[p][lane.index()].is_empty() {
+                    self.rr_cursor = (p + 1) % n;
+                    return Some((PeId::new(p as u16), lane));
+                }
+            }
+        }
+        None
+    }
+
+    /// Picks, removes and returns the oldest pending message in the given
+    /// lane (any PE), regardless of policy — used to give one lane
+    /// priority service (e.g. marking tasks during a collection phase,
+    /// per the paper's Section 6 remark).
+    pub fn next_event_in_lane(&mut self, lane: Lane) -> Option<(PeId, Lane, M)> {
+        let mut best: Option<(u64, usize)> = None;
+        for (p, lanes) in self.pes.iter().enumerate() {
+            if let Some(&(s, _)) = lanes[lane.index()].front() {
+                if best.map_or(true, |(bs, _)| s < bs) {
+                    best = Some((s, p));
+                }
+            }
+        }
+        let (_, p) = best?;
+        let (_, msg) = self.pes[p][lane.index()].pop_front()?;
+        self.pending -= 1;
+        self.stats.record_deliver(lane);
+        Some((PeId::new(p as u16), lane, msg))
+    }
+
+    /// Iterates over all pending messages (for `taskroot` construction and
+    /// invariant checks).
+    pub fn iter_pending(&self) -> impl Iterator<Item = (PeId, Lane, &M)> {
+        self.pes.iter().enumerate().flat_map(|(p, lanes)| {
+            Lane::ALL.into_iter().flat_map(move |lane| {
+                lanes[lane.index()]
+                    .iter()
+                    .map(move |(_, m)| (PeId::new(p as u16), lane, m))
+            })
+        })
+    }
+
+    /// Removes pending messages for which `keep` returns `false` (the
+    /// restructuring phase's *expunging* of irrelevant tasks). Returns how
+    /// many messages were dropped.
+    pub fn expunge<F>(&mut self, mut keep: F) -> usize
+    where
+        F: FnMut(PeId, Lane, &M) -> bool,
+    {
+        let mut dropped = 0;
+        for (p, lanes) in self.pes.iter_mut().enumerate() {
+            for lane in Lane::ALL {
+                let q = &mut lanes[lane.index()];
+                let before = q.len();
+                q.retain(|(_, m)| keep(PeId::new(p as u16), lane, m));
+                dropped += before - q.len();
+            }
+        }
+        self.pending -= dropped;
+        dropped
+    }
+
+    /// Re-lanes pending messages (the restructuring phase's dynamic
+    /// re-prioritization): for every pending message, `relane` may return a
+    /// new lane. Message order (by sequence number) is preserved within
+    /// each new lane. Returns how many messages moved.
+    pub fn relane<F>(&mut self, mut relane: F) -> usize
+    where
+        F: FnMut(PeId, Lane, &M) -> Lane,
+    {
+        let mut moved = 0;
+        for (p, lanes) in self.pes.iter_mut().enumerate() {
+            let mut staged: Vec<(u64, Lane, M)> = Vec::new();
+            for lane in Lane::ALL {
+                let q = std::mem::take(&mut lanes[lane.index()]);
+                for (s, m) in q {
+                    let new = relane(PeId::new(p as u16), lane, &m);
+                    if new != lane {
+                        moved += 1;
+                    }
+                    staged.push((s, new, m));
+                }
+            }
+            staged.sort_by_key(|&(s, _, _)| s);
+            for (s, lane, m) in staged {
+                lanes[lane.index()].push_back((s, m));
+            }
+        }
+        moved
+    }
+
+    /// Number of delivery events executed so far (virtual time).
+    pub fn time(&self) -> u64 {
+        self.stats.delivered_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgr_graph::Priority;
+
+    fn env(pe: u16, lane: Lane, msg: u32) -> Envelope<u32> {
+        Envelope::new(PeId::new(pe), lane, msg)
+    }
+
+    #[test]
+    fn fifo_is_global_send_order() {
+        let mut sim = DetSim::new(3, SchedPolicy::Fifo, 0);
+        sim.send(env(2, Lane::Marking, 1));
+        sim.send(env(0, Lane::Reduction(Priority::Vital), 2));
+        sim.send(env(1, Lane::Mutator, 3));
+        let got: Vec<u32> = std::iter::from_fn(|| sim.next_event().map(|(_, _, m)| m)).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn lifo_is_reverse_send_order() {
+        let mut sim = DetSim::new(2, SchedPolicy::Lifo, 0);
+        for i in 0..4 {
+            sim.send(env(i % 2, Lane::Marking, i as u32));
+        }
+        let got: Vec<u32> = std::iter::from_fn(|| sim.next_event().map(|(_, _, m)| m)).collect();
+        assert_eq!(got, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn round_robin_rotates_pes() {
+        let mut sim = DetSim::new(2, SchedPolicy::RoundRobin, 0);
+        sim.send(env(0, Lane::Marking, 10));
+        sim.send(env(0, Lane::Marking, 11));
+        sim.send(env(1, Lane::Marking, 20));
+        let got: Vec<(u16, u32)> =
+            std::iter::from_fn(|| sim.next_event().map(|(p, _, m)| (p.raw(), m))).collect();
+        assert_eq!(got, vec![(0, 10), (1, 20), (0, 11)]);
+    }
+
+    #[test]
+    fn priority_first_prefers_mutator_then_marking() {
+        let mut sim = DetSim::new(1, SchedPolicy::PriorityFirst, 0);
+        sim.send(env(0, Lane::Reduction(Priority::Reserve), 1));
+        sim.send(env(0, Lane::Marking, 2));
+        sim.send(env(0, Lane::Mutator, 3));
+        sim.send(env(0, Lane::Reduction(Priority::Vital), 4));
+        let got: Vec<u32> = std::iter::from_fn(|| sim.next_event().map(|(_, _, m)| m)).collect();
+        assert_eq!(got, vec![3, 2, 4, 1]);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut sim = DetSim::new(4, SchedPolicy::Random { marking_bias: 0.5 }, seed);
+            for i in 0..32 {
+                sim.send(env(
+                    (i % 4) as u16,
+                    if i % 3 == 0 {
+                        Lane::Marking
+                    } else {
+                        Lane::Reduction(Priority::Vital)
+                    },
+                    i as u32,
+                ));
+            }
+            std::iter::from_fn(|| sim.next_event().map(|(_, _, m)| m)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds explore differently");
+    }
+
+    #[test]
+    fn random_marking_bias_extremes() {
+        // bias 1.0: marking always drains before other lanes.
+        let mut sim = DetSim::new(1, SchedPolicy::Random { marking_bias: 1.0 }, 3);
+        sim.send(env(0, Lane::Reduction(Priority::Vital), 1));
+        sim.send(env(0, Lane::Marking, 2));
+        sim.send(env(0, Lane::Marking, 3));
+        let got: Vec<u32> = std::iter::from_fn(|| sim.next_event().map(|(_, _, m)| m)).collect();
+        assert_eq!(&got[..2], &[2, 3]);
+    }
+
+    #[test]
+    fn expunge_drops_matching() {
+        let mut sim = DetSim::new(2, SchedPolicy::Fifo, 0);
+        for i in 0..6 {
+            sim.send(env(i % 2, Lane::Reduction(Priority::Vital), i as u32));
+        }
+        let dropped = sim.expunge(|_, _, &m| m % 2 == 0);
+        assert_eq!(dropped, 3);
+        assert_eq!(sim.len(), 3);
+        let got: Vec<u32> = std::iter::from_fn(|| sim.next_event().map(|(_, _, m)| m)).collect();
+        assert_eq!(got, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn relane_moves_messages_preserving_order() {
+        let mut sim = DetSim::new(1, SchedPolicy::Fifo, 0);
+        sim.send(env(0, Lane::Reduction(Priority::Reserve), 1));
+        sim.send(env(0, Lane::Reduction(Priority::Reserve), 2));
+        let moved = sim.relane(|_, _, _| Lane::Reduction(Priority::Vital));
+        assert_eq!(moved, 2);
+        let pending: Vec<(Lane, u32)> = sim.iter_pending().map(|(_, l, &m)| (l, m)).collect();
+        assert_eq!(
+            pending,
+            vec![
+                (Lane::Reduction(Priority::Vital), 1),
+                (Lane::Reduction(Priority::Vital), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn iter_pending_sees_everything() {
+        let mut sim = DetSim::new(3, SchedPolicy::Fifo, 0);
+        sim.send(env(0, Lane::Marking, 1));
+        sim.send(env(2, Lane::Mutator, 2));
+        let all: Vec<u32> = sim.iter_pending().map(|(_, _, &m)| m).collect();
+        assert_eq!(all.len(), 2);
+        assert!(all.contains(&1) && all.contains(&2));
+    }
+
+    #[test]
+    fn stats_count_sends_and_deliveries() {
+        let mut sim = DetSim::new(1, SchedPolicy::Fifo, 0);
+        sim.send(env(0, Lane::Marking, 1));
+        sim.send(env(0, Lane::Mutator, 2));
+        sim.next_event();
+        assert_eq!(sim.stats().sent_total(), 2);
+        assert_eq!(sim.stats().delivered_total(), 1);
+        assert_eq!(sim.time(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn zero_pes_rejected() {
+        let _: DetSim<u32> = DetSim::new(0, SchedPolicy::Fifo, 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Delivery statistics for the simulator.
+
+use serde::{Deserialize, Serialize};
+
+use crate::msg::Lane;
+
+/// Counters kept by [`DetSim`](crate::DetSim): messages sent and delivered
+/// per lane, and the maximum mailbox backlog observed.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    sent: [u64; 5],
+    delivered: [u64; 5],
+    max_depth: usize,
+}
+
+impl SimStats {
+    pub(crate) fn record_send(&mut self, lane: Lane) {
+        self.sent[lane.index()] += 1;
+    }
+
+    pub(crate) fn record_deliver(&mut self, lane: Lane) {
+        self.delivered[lane.index()] += 1;
+    }
+
+    pub(crate) fn observe_depth(&mut self, depth: usize) {
+        self.max_depth = self.max_depth.max(depth);
+    }
+
+    /// Messages sent in the given lane.
+    pub fn sent(&self, lane: Lane) -> u64 {
+        self.sent[lane.index()]
+    }
+
+    /// Messages delivered in the given lane.
+    pub fn delivered(&self, lane: Lane) -> u64 {
+        self.delivered[lane.index()]
+    }
+
+    /// Total messages sent.
+    pub fn sent_total(&self) -> u64 {
+        self.sent.iter().sum()
+    }
+
+    /// Total messages delivered (executed events).
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered.iter().sum()
+    }
+
+    /// Largest number of simultaneously pending messages observed.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = SimStats::default();
+        s.record_send(Lane::Marking);
+        s.record_send(Lane::Marking);
+        s.record_deliver(Lane::Marking);
+        s.observe_depth(2);
+        s.observe_depth(1);
+        assert_eq!(s.sent(Lane::Marking), 2);
+        assert_eq!(s.delivered(Lane::Marking), 1);
+        assert_eq!(s.sent_total(), 2);
+        assert_eq!(s.delivered_total(), 1);
+        assert_eq!(s.max_depth(), 2);
+        assert_eq!(s.sent(Lane::Mutator), 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! The threaded runtime: one OS thread per PE, channel mailboxes, and
+//! quiescence-based termination.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dgr_graph::PeId;
+
+use crate::msg::Envelope;
+
+enum WorkItem<M> {
+    Msg(M),
+    Stop,
+}
+
+/// Handle a PE-thread handler uses to send messages to other PEs.
+///
+/// Sends are counted: the runtime shuts down when every sent message has
+/// been handled and no handler is running (global quiescence). This mirrors
+/// how the marking algorithm is its own termination detector — `done`
+/// becomes true — while the runtime-level counter catches handler bugs that
+/// would otherwise hang the system.
+pub struct ThreadCtx<M> {
+    senders: Arc<Vec<Sender<WorkItem<M>>>>,
+    pending: Arc<AtomicUsize>,
+    me: PeId,
+}
+
+impl<M> ThreadCtx<M> {
+    /// Sends a message to another PE (or to this one).
+    pub fn send(&self, env: Envelope<M>) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        // Unbounded channel: send can only fail if the receiver is gone,
+        // which cannot happen before quiescence.
+        self.senders[env.dst.index()]
+            .send(WorkItem::Msg(env.msg))
+            .expect("receiver alive until quiescence");
+    }
+
+    /// The PE this handler is running on.
+    pub fn me(&self) -> PeId {
+        self.me
+    }
+
+    /// Number of PEs in the system.
+    pub fn num_pes(&self) -> usize {
+        self.senders.len()
+    }
+}
+
+/// A real parallel runtime: one worker thread per PE.
+///
+/// [`ThreadedRuntime::run`] delivers the initial messages, lets handlers
+/// exchange messages until the system is quiescent, and returns the number
+/// of messages handled.
+///
+/// # Example
+///
+/// ```
+/// use dgr_graph::PeId;
+/// use dgr_sim::{Envelope, Lane, ThreadedRuntime};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// // A token bounces through all 4 PEs, incrementing a counter.
+/// let hits = AtomicU64::new(0);
+/// let handled = ThreadedRuntime::new(4).run(
+///     vec![Envelope::new(PeId::new(0), Lane::Marking, 0u16)],
+///     |ctx, hop: u16| {
+///         hits.fetch_add(1, Ordering::SeqCst);
+///         if hop < 3 {
+///             let next = PeId::new((ctx.me().raw() + 1) % 4);
+///             ctx.send(Envelope::new(next, Lane::Marking, hop + 1));
+///         }
+///     },
+/// );
+/// assert_eq!(handled, 4);
+/// assert_eq!(hits.load(Ordering::SeqCst), 4);
+/// ```
+#[derive(Debug)]
+pub struct ThreadedRuntime {
+    num_pes: u16,
+}
+
+impl ThreadedRuntime {
+    /// Creates a runtime with `num_pes` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pes` is zero.
+    pub fn new(num_pes: u16) -> Self {
+        assert!(num_pes > 0, "a system needs at least one PE");
+        ThreadedRuntime { num_pes }
+    }
+
+    /// Runs `handler` on every delivered message until global quiescence.
+    /// Returns the total number of messages handled.
+    ///
+    /// The handler runs on the destination PE's thread. It may send further
+    /// messages through the [`ThreadCtx`]; shared state (e.g. a
+    /// [`SharedGraph`](crate::SharedGraph)) is captured by the closure.
+    pub fn run<M, F>(&self, initial: Vec<Envelope<M>>, handler: F) -> u64
+    where
+        M: Send + 'static,
+        F: Fn(&ThreadCtx<M>, M) + Sync,
+    {
+        let n = self.num_pes as usize;
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<WorkItem<M>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+        let pending = Arc::new(AtomicUsize::new(0));
+        let handled_total = AtomicUsize::new(0);
+
+        // Seed the mailboxes before any worker starts.
+        pending.fetch_add(initial.len(), Ordering::SeqCst);
+        for env in initial {
+            senders[env.dst.index()]
+                .send(WorkItem::Msg(env.msg))
+                .expect("fresh channel");
+        }
+        if pending.load(Ordering::SeqCst) == 0 {
+            return 0;
+        }
+
+        std::thread::scope(|scope| {
+            for (i, rx) in receivers.into_iter().enumerate() {
+                let ctx = ThreadCtx {
+                    senders: Arc::clone(&senders),
+                    pending: Arc::clone(&pending),
+                    me: PeId::new(i as u16),
+                };
+                let handler = &handler;
+                let handled_total = &handled_total;
+                scope.spawn(move || {
+                    while let Ok(item) = rx.recv() {
+                        match item {
+                            WorkItem::Stop => break,
+                            WorkItem::Msg(m) => {
+                                handler(&ctx, m);
+                                handled_total.fetch_add(1, Ordering::SeqCst);
+                                // This message is done; if it was the last
+                                // in-flight message anywhere, wake everyone
+                                // up for shutdown.
+                                if ctx.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                                    for s in ctx.senders.iter() {
+                                        let _ = s.send(WorkItem::Stop);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        handled_total.load(Ordering::SeqCst) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Lane;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn empty_initial_returns_immediately() {
+        let rt = ThreadedRuntime::new(2);
+        let handled = rt.run(Vec::<Envelope<u32>>::new(), |_, _| {});
+        assert_eq!(handled, 0);
+    }
+
+    #[test]
+    fn fanout_messages_all_handled() {
+        // Each message with n > 0 spawns two messages with n - 1:
+        // total handled = 2^(k+1) - 1 for initial n = k.
+        let rt = ThreadedRuntime::new(4);
+        let handled = rt.run(
+            vec![Envelope::new(PeId::new(0), Lane::Marking, 5u32)],
+            |ctx, n| {
+                if n > 0 {
+                    for t in 0..2 {
+                        let dst = PeId::new(((ctx.me().raw() as u32 + t + 1) % 4) as u16);
+                        ctx.send(Envelope::new(dst, Lane::Marking, n - 1));
+                    }
+                }
+            },
+        );
+        assert_eq!(handled, (1 << 6) - 1);
+    }
+
+    #[test]
+    fn work_is_distributed_across_pes() {
+        let per_pe: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        let rt = ThreadedRuntime::new(4);
+        let initial: Vec<_> = (0..64)
+            .map(|i| Envelope::new(PeId::new(i % 4), Lane::Marking, i as u32))
+            .collect();
+        rt.run(initial, |ctx, _| {
+            per_pe[ctx.me().index()].fetch_add(1, Ordering::SeqCst);
+        });
+        for c in &per_pe {
+            assert_eq!(c.load(Ordering::SeqCst), 16);
+        }
+    }
+
+    #[test]
+    fn ctx_reports_topology() {
+        let rt = ThreadedRuntime::new(3);
+        rt.run(
+            vec![Envelope::new(PeId::new(2), Lane::Marking, ())],
+            |ctx, ()| {
+                assert_eq!(ctx.me(), PeId::new(2));
+                assert_eq!(ctx.num_pes(), 3);
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn zero_pes_rejected() {
+        let _ = ThreadedRuntime::new(0);
+    }
+}

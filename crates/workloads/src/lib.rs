@@ -1,0 +1,21 @@
+//! Workload generators for exercising distributed graph reduction,
+//! marking, and collection.
+//!
+//! * [`graphs`] — random and structured computation graphs for marking
+//!   correctness tests and benches (F4-1, T5);
+//! * [`mutation`] — random-but-valid mutation scripts applied *during*
+//!   marking, for the cooperation experiments (F4-2, T-abl);
+//! * [`churn`] — allocation/drop traces with a controllable cyclic
+//!   fraction, replayable against both the marking collector and the
+//!   reference-counting baseline (T1, T2);
+//! * [`programs`] — a catalog of source programs with known answers
+//!   (nfib, quicksort, primes, speculative branches, deadlocks) for
+//!   end-to-end workloads (F3-1, F3-2, T3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod graphs;
+pub mod mutation;
+pub mod programs;

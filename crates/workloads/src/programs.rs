@@ -1,0 +1,229 @@
+//! A catalog of source programs with known answers.
+
+use dgr_graph::Value;
+
+/// A workload program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Diagnostic name.
+    pub name: String,
+    /// Source text.
+    pub source: String,
+    /// The expected result (`None` when the program deadlocks).
+    pub expected: Option<Value>,
+    /// Whether the source needs the prelude in scope.
+    pub needs_prelude: bool,
+}
+
+fn nfib_value(n: i64) -> i64 {
+    if n < 2 {
+        1
+    } else {
+        nfib_value(n - 1) + nfib_value(n - 2) + 1
+    }
+}
+
+fn fib_value(n: i64) -> i64 {
+    if n < 2 {
+        n
+    } else {
+        fib_value(n - 1) + fib_value(n - 2)
+    }
+}
+
+/// `nfib n` — the classic parallel-reduction benchmark (its value counts
+/// the function calls performed).
+pub fn nfib(n: i64) -> Program {
+    Program {
+        name: format!("nfib {n}"),
+        source: format!("nfib {n}"),
+        expected: Some(Value::Int(nfib_value(n))),
+        needs_prelude: true,
+    }
+}
+
+/// `fib n`.
+pub fn fib(n: i64) -> Program {
+    Program {
+        name: format!("fib {n}"),
+        source: format!("fib {n}"),
+        expected: Some(Value::Int(fib_value(n))),
+        needs_prelude: true,
+    }
+}
+
+/// `sum (range 1 n)` — list-heavy, allocates and discards one cons cell
+/// per element.
+pub fn sum_range(n: i64) -> Program {
+    Program {
+        name: format!("sum-range {n}"),
+        source: format!("sum (range 1 {n})"),
+        expected: Some(Value::Int(n * (n + 1) / 2)),
+        needs_prelude: true,
+    }
+}
+
+/// `sum (map (λx. x·x) (range 1 n))`.
+pub fn sum_squares(n: i64) -> Program {
+    Program {
+        name: format!("sum-squares {n}"),
+        source: format!("sum (map (\\x -> x * x) (range 1 {n}))"),
+        expected: Some(Value::Int(n * (n + 1) * (2 * n + 1) / 6)),
+        needs_prelude: true,
+    }
+}
+
+/// Quicksort on a pseudo-random list, checked by summing (a pure
+/// structural workload with lots of intermediate garbage).
+pub fn qsort(n: i64) -> Program {
+    // Deterministic scrambled list via a small LCG written in the language.
+    let source = format!(
+        "let rec lcg = \\x k -> if k == 0 then nil
+                                else cons (x % 1000) (lcg ((x * 75 + 74) % 65537) (k - 1));
+                 qsort = \\xs -> if isnil xs then nil
+                                 else append
+                                   (qsort (filter (\\y -> y < head xs) (tail xs)))
+                                   (cons (head xs)
+                                     (qsort (filter (\\y -> y >= head xs) (tail xs))))
+         in sum (qsort (lcg 1 {n}))"
+    );
+    // The sum is permutation-invariant: compute it with the same LCG.
+    let mut x: i64 = 1;
+    let mut sum = 0;
+    for _ in 0..n {
+        sum += x % 1000;
+        x = (x * 75 + 74) % 65537;
+    }
+    Program {
+        name: format!("qsort {n}"),
+        source,
+        expected: Some(Value::Int(sum)),
+        needs_prelude: true,
+    }
+}
+
+/// Count of primes below `n` by trial division (quadratic, compute-heavy).
+pub fn primes(n: i64) -> Program {
+    let count = (2..n).filter(|&k| (2..k).all(|d| k % d != 0)).count() as i64;
+    Program {
+        name: format!("primes {n}"),
+        source: format!(
+            "length (filter (\\k -> isnil (filter (\\d -> k % d == 0) (range 2 (k - 1))))
+                            (range 2 {}))",
+            n - 1
+        ),
+        expected: Some(Value::Int(count)),
+        needs_prelude: true,
+    }
+}
+
+/// Sums a prefix of an infinite cyclic list — the self-referencing
+/// structure reference counting cannot reclaim.
+pub fn cyclic_sum(n: i64) -> Program {
+    Program {
+        name: format!("cyclic-sum {n}"),
+        source: format!("let rec ones = cons 1 ones in sum (take {n} ones)"),
+        expected: Some(Value::Int(n)),
+        needs_prelude: true,
+    }
+}
+
+/// Figure 3-1 as a program: `let rec x = x + 1 in x` deadlocks.
+pub fn deadlock_self() -> Program {
+    Program {
+        name: "deadlock-self".into(),
+        source: "let rec x = x + 1 in x".into(),
+        expected: None,
+        needs_prelude: false,
+    }
+}
+
+/// A mutually-recursive deadlock: `a = b + 1; b = a + 1`.
+pub fn deadlock_mutual() -> Program {
+    Program {
+        name: "deadlock-mutual".into(),
+        source: "let rec a = b + 1; b = a + 1 in a".into(),
+        expected: None,
+        needs_prelude: false,
+    }
+}
+
+/// A chain of `depth` conditionals whose predicates are all true; under
+/// speculative evaluation every else-branch spawns `nfib spin` worth of
+/// irrelevant work that must be expunged (the T3 workload).
+pub fn speculative_chain(depth: i64, spin: i64) -> Program {
+    let mut body = String::from("0");
+    for i in 0..depth {
+        body = format!("if {i} < {depth} then ({body}) else nfib {spin}");
+    }
+    Program {
+        name: format!("speculative-chain {depth}x{spin}"),
+        source: body,
+        expected: Some(Value::Int(0)),
+        needs_prelude: true,
+    }
+}
+
+/// The standard catalog used by the report binaries.
+pub fn catalog() -> Vec<Program> {
+    vec![
+        nfib(12),
+        fib(13),
+        sum_range(150),
+        sum_squares(40),
+        qsort(40),
+        primes(60),
+        cyclic_sum(60),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgr_lang::{eval_source, eval_with_prelude};
+    use dgr_reduction::{RunOutcome, SystemConfig};
+
+    fn run(p: &Program) -> RunOutcome {
+        let cfg = SystemConfig::default();
+        if p.needs_prelude {
+            eval_with_prelude(&p.source, cfg).unwrap_or_else(|e| panic!("{}: {e}", p.name))
+        } else {
+            eval_source(&p.source, cfg).unwrap_or_else(|e| panic!("{}: {e}", p.name))
+        }
+    }
+
+    #[test]
+    fn catalog_programs_produce_expected_values() {
+        for p in [nfib(8), fib(10), sum_range(30), sum_squares(10), qsort(12)] {
+            let expected = p.expected.clone().unwrap();
+            assert_eq!(run(&p), RunOutcome::Value(expected), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn primes_and_cycles() {
+        let p = primes(20);
+        assert_eq!(run(&p), RunOutcome::Value(Value::Int(8)), "primes < 20");
+        let c = cyclic_sum(10);
+        assert_eq!(run(&c), RunOutcome::Value(Value::Int(10)));
+    }
+
+    #[test]
+    fn deadlock_programs_quiesce() {
+        assert_eq!(run(&deadlock_self()), RunOutcome::Quiescent);
+        assert_eq!(run(&deadlock_mutual()), RunOutcome::Quiescent);
+    }
+
+    #[test]
+    fn speculative_chain_is_fine_without_speculation() {
+        let p = speculative_chain(4, 3);
+        assert_eq!(run(&p), RunOutcome::Value(Value::Int(0)));
+    }
+
+    #[test]
+    fn nfib_value_matches_definition() {
+        assert_eq!(nfib_value(0), 1);
+        assert_eq!(nfib_value(5), 15);
+        assert_eq!(fib_value(10), 55);
+    }
+}

@@ -1,0 +1,67 @@
+//! A tiny interpreter driver: evaluate programs from the command line (or
+//! a built-in demo suite) on the distributed reduction machine.
+//!
+//! Run with:
+//! `cargo run --example interpreter -- "sum (map fib (range 1 10))"`
+//! or with no argument for the demo suite.
+
+use dgr::gc::{GcConfig, GcDriver};
+use dgr::prelude::*;
+
+fn run_one(src: &str) {
+    println!("> {}", src.trim());
+    let sys = match dgr::lang::build_with_prelude(src, SystemConfig::default()) {
+        Ok(sys) => sys,
+        Err(e) => {
+            println!("  error: {e}");
+            return;
+        }
+    };
+    let mut gc = GcDriver::new(
+        sys,
+        GcConfig {
+            period: 250,
+            deadlock_recovery: true,
+            ..Default::default()
+        },
+    );
+    let out = gc.run();
+    match out {
+        RunOutcome::Value(v) => println!("  = {v}"),
+        RunOutcome::Quiescent => println!("  (no value: the computation deadlocked)"),
+        RunOutcome::Budget => println!("  (event budget exhausted)"),
+    }
+    println!(
+        "  [{} tasks, {} expansions, {} GC cycles, {} vertices reclaimed]",
+        gc.sys.stats.total_tasks(),
+        gc.sys.stats.expansions,
+        gc.stats().cycles,
+        gc.stats().reclaimed_total
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if !args.is_empty() {
+        run_one(&args.join(" "));
+        return;
+    }
+    for src in [
+        "2 + 2",
+        "fact 12",
+        "fib 16",
+        "sum (map (\\x -> x * x) (range 1 10))",
+        "length (filter even (range 1 100))",
+        "let rec qsort = \\xs -> if isnil xs then nil
+                          else append (qsort (filter (\\y -> y < head xs) (tail xs)))
+                                      (cons (head xs)
+                                            (qsort (filter (\\y -> y >= head xs) (tail xs))))
+         in nth 3 (qsort [5, 1, 9, 3, 7])",
+        "head (tail (let rec ones = cons 1 ones in ones))",
+        "sum (take 10 (nats 100))",
+        "gcd 1071 462",
+        "let rec x = x + 1 in x",
+    ] {
+        run_one(src);
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 3-2: vital, eager, irrelevant and reserve tasks.
+//!
+//! Under speculative evaluation, conditionals demand their branches
+//! eagerly. When a predicate resolves, the chosen branch's tasks become
+//! vital (priority upgrade), the other branch is dereferenced and its
+//! in-flight workload becomes *irrelevant* — unless another vertex still
+//! holds an unrequested arc to it, in which case the tasks are *reserve*.
+//! Each GC cycle classifies every pending task (Properties 3–6), expunges
+//! the irrelevant ones, and re-lanes the rest.
+//!
+//! Run with: `cargo run --example task_taxonomy`
+
+use dgr::gc::{classify_pending_tasks, GcConfig, GcDriver};
+use dgr::prelude::*;
+
+fn main() {
+    // The spirit of Figure 3-2: a speculative conditional whose predicate
+    // resolves to true, discarding an expensive speculated branch that
+    // has already spread work through the system.
+    // The predicate is expensive (nfib 8 > 0), so both branches run
+    // speculatively (eager) for a while; once it resolves to true the
+    // spin branch's workload turns irrelevant.
+    let src = "
+        let rec spin = \\n -> if n == 0 then 0 else spin (n - 1) + nfib 6
+        in if nfib 8 > 0 then 1 + nfib 8 else spin 1000
+    ";
+    let cfg = SystemConfig {
+        speculation: true,
+        ..Default::default()
+    };
+    let sys = dgr::lang::build_with_prelude(src, cfg).expect("program compiles");
+    let mut gc = GcDriver::new(
+        sys,
+        GcConfig {
+            period: 150,
+            expunge: false, // watch the taxonomy first, expunge later
+            reclaim: false,
+            ..Default::default()
+        },
+    );
+
+    gc.sys.demand_root();
+    println!("cycle |  vital  eager  reserve  irrelevant | pending");
+    for cycle in 1..=8 {
+        for _ in 0..150 {
+            if !gc.sys.step() {
+                break;
+            }
+        }
+        gc.run_cycle();
+        let c = classify_pending_tasks(&gc.sys);
+        println!(
+            "{cycle:>5} | {:>6} {:>6} {:>8} {:>11} | {:>7}",
+            c.vital,
+            c.eager,
+            c.reserve,
+            c.irrelevant,
+            gc.sys.sim().len()
+        );
+        if gc.sys.result.is_some() {
+            break;
+        }
+    }
+
+    // Now with full restructuring on: irrelevant tasks are expunged and
+    // the program converges to its value.
+    let sys = dgr::lang::build_with_prelude(
+        src,
+        SystemConfig {
+            speculation: true,
+            ..Default::default()
+        },
+    )
+    .expect("program compiles");
+    let mut gc = GcDriver::new(
+        sys,
+        GcConfig {
+            period: 150,
+            ..Default::default()
+        },
+    );
+    let out = gc.run();
+    println!(
+        "\nwith expunging: {out:?} after {} cycles, {} irrelevant tasks expunged, {} upgrades",
+        gc.stats().cycles,
+        gc.stats().expunged_total,
+        gc.sys.stats.upgrades
+    );
+    assert_eq!(out, RunOutcome::Value(Value::Int(68)));
+}

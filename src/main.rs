@@ -1,0 +1,248 @@
+//! `dgr` — command-line driver for the distributed graph-reduction
+//! machine.
+//!
+//! ```text
+//! dgr run  [FLAGS] <file.dgr | -e "expr">   evaluate a program
+//! dgr repl [FLAGS]                          interactive loop
+//! dgr dot  [FLAGS] <file.dgr | -e "expr">   emit the installed graph as DOT
+//!
+//! flags:
+//!   --pes N            processing elements (default 4)
+//!   --seed N           scheduler seed (default 0)
+//!   --random           random scheduling policy (default round-robin)
+//!   --speculate        evaluate conditional branches eagerly
+//!   --no-prelude       do not load the standard prelude
+//!   --gc-period N      reduction events between GC cycles (default 250)
+//!   --no-gc            run without the collector
+//!   --recover          return ⊥ from deadlocked vertices
+//!   --stats            print reduction and GC statistics
+//! ```
+
+use std::io::{BufRead, Write};
+
+use dgr::gc::{GcConfig, GcDriver};
+use dgr::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Opts {
+    pes: u16,
+    seed: u64,
+    random: bool,
+    speculate: bool,
+    prelude: bool,
+    gc_period: u64,
+    gc: bool,
+    recover: bool,
+    stats: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            pes: 4,
+            seed: 0,
+            random: false,
+            speculate: false,
+            prelude: true,
+            gc_period: 250,
+            gc: true,
+            recover: false,
+            stats: false,
+        }
+    }
+}
+
+impl Opts {
+    fn system_config(&self) -> SystemConfig {
+        SystemConfig {
+            num_pes: self.pes,
+            seed: self.seed,
+            policy: if self.random {
+                SchedPolicy::Random { marking_bias: 0.5 }
+            } else {
+                SchedPolicy::RoundRobin
+            },
+            speculation: self.speculate,
+            ..Default::default()
+        }
+    }
+
+    fn gc_config(&self) -> GcConfig {
+        GcConfig {
+            period: self.gc_period,
+            deadlock_recovery: self.recover,
+            ..Default::default()
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dgr <run|repl|dot> [--pes N] [--seed N] [--random] [--speculate] \
+         [--no-prelude] [--gc-period N] [--no-gc] [--recover] [--stats] \
+         [-e EXPR | FILE]"
+    );
+    std::process::exit(2)
+}
+
+fn build(src: &str, opts: &Opts) -> Result<System, dgr::lang::LangError> {
+    if opts.prelude {
+        dgr::lang::build_with_prelude(src, opts.system_config())
+    } else {
+        dgr::lang::build_system(src, opts.system_config())
+    }
+}
+
+fn run_source(src: &str, opts: &Opts) -> i32 {
+    let sys = match build(src, opts) {
+        Ok(sys) => sys,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    if opts.gc {
+        let mut gc = GcDriver::new(sys, opts.gc_config());
+        let out = gc.run();
+        report_outcome(&out);
+        if opts.stats {
+            let s = &gc.sys.stats;
+            eprintln!(
+                "tasks: {} requests, {} returns, {} expansions, {} bottoms",
+                s.requests, s.returns, s.expansions, s.bottoms
+            );
+            let g = gc.stats();
+            eprintln!(
+                "gc: {} cycles ({} with M_T), {} reclaimed, {} tasks expunged, \
+                 {} re-laned, {} deadlocked, {} marking events",
+                g.cycles,
+                g.mt_cycles,
+                g.reclaimed_total,
+                g.expunged_total,
+                g.relaned_total,
+                g.deadlocks_total,
+                g.mark_events_total
+            );
+        }
+        outcome_code(&out)
+    } else {
+        let mut sys = sys;
+        let out = sys.run();
+        report_outcome(&out);
+        if opts.stats {
+            let s = &sys.stats;
+            eprintln!(
+                "tasks: {} requests, {} returns, {} expansions, {} bottoms",
+                s.requests, s.returns, s.expansions, s.bottoms
+            );
+        }
+        outcome_code(&out)
+    }
+}
+
+fn report_outcome(out: &RunOutcome) {
+    match out {
+        RunOutcome::Value(v) => println!("{v}"),
+        RunOutcome::Quiescent => println!("(deadlocked: no value)"),
+        RunOutcome::Budget => println!("(event budget exhausted)"),
+    }
+}
+
+fn outcome_code(out: &RunOutcome) -> i32 {
+    match out {
+        RunOutcome::Value(_) => 0,
+        _ => 1,
+    }
+}
+
+fn emit_dot(src: &str, opts: &Opts) -> i32 {
+    match build(src, opts) {
+        Ok(sys) => {
+            let dot = dgr::graph::dot::to_dot_reachable(
+                &sys.graph,
+                &dgr::graph::dot::DotOptions::default(),
+            );
+            print!("{dot}");
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+fn repl(opts: &Opts) -> i32 {
+    eprintln!("dgr repl — distributed graph reduction; empty line or ^D exits");
+    let stdin = std::io::stdin();
+    loop {
+        eprint!("> ");
+        let _ = std::io::stderr().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => return 0,
+            Ok(_) => {
+                let line = line.trim();
+                if line.is_empty() {
+                    return 0;
+                }
+                run_source(line, opts);
+            }
+            Err(e) => {
+                eprintln!("read error: {e}");
+                return 1;
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else { usage() };
+    let mut opts = Opts::default();
+    let mut source: Option<String> = None;
+    let mut file: Option<String> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--pes" => {
+                opts.pes = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                opts.seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--gc-period" => {
+                opts.gc_period =
+                    args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--random" => opts.random = true,
+            "--speculate" => opts.speculate = true,
+            "--no-prelude" => opts.prelude = false,
+            "--no-gc" => opts.gc = false,
+            "--recover" => opts.recover = true,
+            "--stats" => opts.stats = true,
+            "-e" => source = Some(args.next().unwrap_or_else(|| usage())),
+            other if !other.starts_with('-') => file = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let load = |source: Option<String>, file: Option<String>| -> String {
+        if let Some(s) = source {
+            return s;
+        }
+        let Some(f) = file else { usage() };
+        match std::fs::read_to_string(&f) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {f}: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let code = match cmd.as_str() {
+        "run" => run_source(&load(source, file), &opts),
+        "dot" => emit_dot(&load(source, file), &opts),
+        "repl" => repl(&opts),
+        _ => usage(),
+    };
+    std::process::exit(code);
+}

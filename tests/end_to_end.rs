@@ -1,0 +1,321 @@
+//! Cross-crate end-to-end scenarios: source programs through the
+//! compiler, the distributed reduction engine, and the concurrent GC, on
+//! many schedules and PE counts.
+
+use dgr::gc::{CycleOrder, GcConfig, GcDriver};
+use dgr::lang::{build_system, build_with_prelude};
+use dgr::prelude::*;
+use dgr::workloads::programs;
+
+fn run_gc(src: &str, prelude: bool, sys_cfg: SystemConfig, gc_cfg: GcConfig) -> (RunOutcome, GcDriver) {
+    let sys = if prelude {
+        build_with_prelude(src, sys_cfg)
+    } else {
+        build_system(src, sys_cfg)
+    }
+    .unwrap_or_else(|e| panic!("{src}: {e}"));
+    let mut gc = GcDriver::new(sys, gc_cfg);
+    let out = gc.run();
+    (out, gc)
+}
+
+#[test]
+fn program_catalog_under_gc_matches_expected() {
+    for p in programs::catalog() {
+        let (out, gc) = run_gc(
+            &p.source,
+            p.needs_prelude,
+            SystemConfig::default(),
+            GcConfig {
+                period: 150,
+                ..Default::default()
+            },
+        );
+        let expected = p.expected.clone().expect("catalog programs terminate");
+        assert_eq!(out, RunOutcome::Value(expected), "{}", p.name);
+        assert_eq!(gc.sys.stats.dangling_requests, 0, "{}", p.name);
+        assert!(gc.sys.graph.check_consistency().is_ok(), "{}", p.name);
+    }
+}
+
+#[test]
+fn results_invariant_across_pes_policies_and_periods() {
+    let p = programs::qsort(25);
+    let expected = RunOutcome::Value(p.expected.clone().unwrap());
+    for pes in [1u16, 4, 16] {
+        for (policy, seed) in [
+            (SchedPolicy::Fifo, 0),
+            (SchedPolicy::RoundRobin, 0),
+            (SchedPolicy::Random { marking_bias: 0.5 }, 7),
+            (SchedPolicy::Random { marking_bias: 0.5 }, 8),
+        ] {
+            for period in [50u64, 500] {
+                let cfg = SystemConfig {
+                    num_pes: pes,
+                    policy,
+                    seed,
+                    ..Default::default()
+                };
+                let (out, _) = run_gc(
+                    &p.source,
+                    true,
+                    cfg,
+                    GcConfig {
+                        period,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(out, expected, "pes={pes} policy={policy:?} period={period}");
+            }
+        }
+    }
+}
+
+#[test]
+fn wrong_cycle_order_still_computes_correctly() {
+    // RBeforeT weakens deadlock reporting (see T7) but never corrupts
+    // values or reclaims live data.
+    let p = programs::sum_squares(30);
+    let (out, gc) = run_gc(
+        &p.source,
+        true,
+        SystemConfig::default(),
+        GcConfig {
+            period: 80,
+            order: CycleOrder::RBeforeT,
+            ..Default::default()
+        },
+    );
+    assert_eq!(out, RunOutcome::Value(p.expected.unwrap()));
+    assert!(gc.stats().reclaimed_total > 0);
+    assert_eq!(gc.sys.stats.dangling_requests, 0);
+}
+
+#[test]
+fn cyclic_data_is_collected_once_dropped() {
+    // The cyclic list is consumed and abandoned; the collector reclaims
+    // the cycle (reference counting never could).
+    let (out, gc) = run_gc(
+        "let rec ones = cons 1 ones in sum (take 40 ones)",
+        true,
+        SystemConfig::default(),
+        GcConfig {
+            period: 100,
+            ..Default::default()
+        },
+    );
+    assert_eq!(out, RunOutcome::Value(Value::Int(40)));
+    let mut gc = gc;
+    let report = gc.run_cycle();
+    // After the result, only the root chain survives; the cyclic spine
+    // plus all intermediate cells are garbage.
+    assert!(report.reclaimed > 0 || gc.stats().reclaimed_total > 0);
+    let live = gc.sys.graph.live_count();
+    assert!(
+        live < 20,
+        "only the valued root region survives, found {live}"
+    );
+}
+
+#[test]
+fn speculation_with_gc_terminates_where_plain_speculation_diverges() {
+    let src = "fib 9";
+    let cfg = SystemConfig {
+        speculation: true,
+        policy: SchedPolicy::Random { marking_bias: 0.5 },
+        seed: 11,
+        max_events: 400_000,
+        ..Default::default()
+    };
+    // Plain: the speculative descent swamps the budget.
+    let mut plain = build_with_prelude(src, cfg.clone()).unwrap();
+    assert_eq!(plain.run(), RunOutcome::Budget, "speculation diverges bare");
+    // With the full management machinery: converges.
+    let (out, gc) = run_gc(
+        src,
+        true,
+        cfg,
+        GcConfig {
+            period: 250,
+            max_total_events: 400_000,
+            ..Default::default()
+        },
+    );
+    assert_eq!(out, RunOutcome::Value(Value::Int(34)));
+    assert!(gc.stats().expunged_total > 0);
+}
+
+#[test]
+fn deadlocked_subprogram_with_recovery_poisons_only_its_cone() {
+    // The deadlocked x participates in one addend; with recovery the
+    // whole strict sum is ⊥ (strictness), reported rather than hanging.
+    let (out, _) = run_gc(
+        "let rec x = x + 1 in (if true then 1 else x) + 2",
+        false,
+        SystemConfig::default(),
+        GcConfig {
+            deadlock_recovery: true,
+            ..Default::default()
+        },
+    );
+    // x is never demanded (lazy else branch): the program completes
+    // normally and x's cycle is simply garbage.
+    assert_eq!(out, RunOutcome::Value(Value::Int(3)));
+
+    let (out, gc) = run_gc(
+        "let rec x = x + 1 in (if false then 1 else x) + 2",
+        false,
+        SystemConfig::default(),
+        GcConfig {
+            deadlock_recovery: true,
+            ..Default::default()
+        },
+    );
+    assert_eq!(out, RunOutcome::Value(Value::Bottom));
+    assert!(gc.stats().deadlocks_total > 0);
+}
+
+#[test]
+fn mt_every_zero_disables_deadlock_detection_but_not_collection() {
+    let (out, gc) = run_gc(
+        "let rec x = x + 1 in x",
+        false,
+        SystemConfig::default(),
+        GcConfig {
+            mt_every: 0,
+            ..Default::default()
+        },
+    );
+    assert_eq!(out, RunOutcome::Quiescent);
+    assert_eq!(gc.stats().deadlocks_total, 0, "no M_T, no reports");
+    assert_eq!(gc.stats().mt_cycles, 0);
+}
+
+#[test]
+fn heavy_sharing_is_computed_once() {
+    // let x = fib 12 in x + x + x: one evaluation serves all demands.
+    let (out, gc) = run_gc(
+        "let x = fib 12 in x + x + x",
+        true,
+        SystemConfig::default(),
+        GcConfig::default(),
+    );
+    assert_eq!(out, RunOutcome::Value(Value::Int(3 * 144)));
+    // fib 12 alone costs hundreds of expansions; sharing keeps the total
+    // well under twice that.
+    let single = {
+        let (out, gc2) = run_gc("fib 12", true, SystemConfig::default(), GcConfig::default());
+        assert_eq!(out, RunOutcome::Value(Value::Int(144)));
+        gc2.sys.stats.expansions
+    };
+    assert!(
+        gc.sys.stats.expansions < single + single / 4,
+        "shared: {} vs single: {}",
+        gc.sys.stats.expansions,
+        single
+    );
+}
+
+#[test]
+fn fixed_heap_with_gc_completes_where_it_could_not_grow() {
+    // A fixed heap too small for the whole computation's total allocation
+    // still completes because the collector recycles it.
+    let src = "let rec sumto = \\n -> if n == 0 then 0 else n + sumto (n - 1) in sumto 120";
+    // Run with small growth steps and GC on; the heap the computation
+    // ends with is much smaller than its total allocation because the
+    // collector keeps recycling it.
+    let (out, gc) = run_gc(
+        src,
+        false,
+        SystemConfig {
+            grow_step: 64,
+            ..Default::default()
+        },
+        GcConfig {
+            period: 60,
+            ..Default::default()
+        },
+    );
+    assert_eq!(out, RunOutcome::Value(Value::Int(7260)));
+    let capacity = gc.sys.graph.capacity();
+    let reclaimed = gc.stats().reclaimed_total;
+    assert!(
+        reclaimed * 2 > capacity,
+        "the heap was recycled: reclaimed {reclaimed} vs capacity {capacity}"
+    );
+}
+
+#[test]
+fn census_and_relane_consistency_over_long_run() {
+    let cfg = SystemConfig {
+        speculation: true,
+        policy: SchedPolicy::PriorityFirst,
+        ..Default::default()
+    };
+    let sys = build_with_prelude("sum (map fib (range 1 9))", cfg).unwrap();
+    let mut gc = GcDriver::new(
+        sys,
+        GcConfig {
+            period: 120,
+            ..Default::default()
+        },
+    );
+    gc.sys.demand_root();
+    loop {
+        for _ in 0..120 {
+            if !gc.sys.step() {
+                break;
+            }
+        }
+        if gc.sys.result.is_some() {
+            break;
+        }
+        let report = gc.run_cycle();
+        assert!(!report.aborted, "phases complete under service ratio");
+        let census = dgr::gc::classify_pending_tasks(&gc.sys);
+        assert_eq!(census.dangling, 0, "no pending task targets a freed vertex");
+        if gc.sys.events() > 2_000_000 {
+            panic!("did not converge");
+        }
+    }
+    assert_eq!(gc.sys.result, Some(Value::Int(88)));
+}
+
+#[test]
+fn deadlock_recovery_never_misfires_on_live_programs() {
+    // Regression: with recovery enabled, deadlock detection must not
+    // poison a healthy program on any schedule. Historical bugs here:
+    // value-referenced thunks over-promoted into R_v, expansion coloring
+    // fresh bodies vital, and asynchronous M_T tracing racing with
+    // completions that drain `requested` chains.
+    for seed in 0..12 {
+        let cfg = SystemConfig {
+            policy: SchedPolicy::Random { marking_bias: 0.5 },
+            seed,
+            ..Default::default()
+        };
+        let (out, _) = run_gc(
+            "sum (map fib (range 1 10))",
+            true,
+            cfg,
+            GcConfig {
+                period: 250,
+                deadlock_recovery: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out, RunOutcome::Value(Value::Int(143)), "seed {seed}");
+    }
+    // And the genuinely deadlocked program is still recovered.
+    let (out, gc) = run_gc(
+        "let rec x = x + 1 in x",
+        false,
+        SystemConfig::default(),
+        GcConfig {
+            deadlock_recovery: true,
+            ..Default::default()
+        },
+    );
+    assert_eq!(out, RunOutcome::Value(Value::Bottom));
+    assert!(gc.stats().deadlocks_total > 0);
+}
