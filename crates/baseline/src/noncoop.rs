@@ -63,7 +63,7 @@ pub fn mark_under_mutation(
         for m in buf.drain(..) {
             sim.send(route(&partition, m));
         }
-        if mutation_period > 0 && events % mutation_period == 0 {
+        if mutation_period > 0 && events.is_multiple_of(mutation_period) {
             let mut coop_buf: Vec<MarkMsg> = Vec::new();
             mutator.step(&mut state, g, &mut |m| coop_buf.push(m));
             for m in coop_buf {
@@ -76,7 +76,7 @@ pub fn mark_under_mutation(
     let reach = oracle::reachable_r(g);
     let lost_live = g
         .live_ids()
-        .filter(|&v| reach.contains(v) && !g.vertex(v).mr.is_marked())
+        .filter(|&v| reach.contains(v) && !g.mark(v, Slot::R).is_marked())
         .count();
     CoopReport {
         cooperating,

@@ -31,7 +31,11 @@ fn bench_cycle(c: &mut Criterion) {
                 b.iter_batched(
                     || {
                         GcDriver::new(
-                            System::new(base.clone(), TemplateStore::new(), SystemConfig::default()),
+                            System::new(
+                                base.clone(),
+                                TemplateStore::new(),
+                                SystemConfig::default(),
+                            ),
                             GcConfig::default(),
                         )
                     },

@@ -13,10 +13,7 @@ fn bench_priority(c: &mut Criterion) {
     for &(levels, width) in &[(6usize, 8usize), (8, 12)] {
         let mut base = shared_dag(levels, width);
         sprinkle_request_kinds(&mut base, 0.4, 0.4, 3);
-        for (name, policy) in [
-            ("fifo", SchedPolicy::Fifo),
-            ("lifo", SchedPolicy::Lifo),
-        ] {
+        for (name, policy) in [("fifo", SchedPolicy::Fifo), ("lifo", SchedPolicy::Lifo)] {
             let cfg = MarkRunConfig {
                 policy,
                 ..Default::default()

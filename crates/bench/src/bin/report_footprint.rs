@@ -15,7 +15,10 @@ fn main() {
             "marking overhead per vertex (M_R slot + M_T slot)".to_string(),
             f.per_vertex_marking_bytes.to_string(),
         ],
-        vec!["whole vertex record".to_string(), f.vertex_bytes.to_string()],
+        vec![
+            "whole vertex record".to_string(),
+            f.vertex_bytes.to_string(),
+        ],
         vec![
             "marking fraction of vertex".to_string(),
             f2(f.marking_fraction * 100.0) + "%",
@@ -25,7 +28,11 @@ fn main() {
             f.compressed_per_pe_bytes.to_string(),
         ],
     ];
-    print_table("T4: marking-state footprint (bytes)", &["field", "bytes"], &rows);
+    print_table(
+        "T4: marking-state footprint (bytes)",
+        &["field", "bytes"],
+        &rows,
+    );
     for &n in &[10_000usize, 100_000, 1_000_000] {
         println!(
             "|V| = {n:>9}: {:>12} bytes of marking state uncompressed, \
@@ -54,10 +61,7 @@ fn main() {
             pes.to_string(),
             full.marked.to_string(),
             format!("{} ({} remote)", full.events, full.remote_messages),
-            format!(
-                "{} remote + {} acks",
-                comp.remote_marks, comp.acks
-            ),
+            format!("{} remote + {} acks", comp.remote_marks, comp.acks),
             format!("{}B/vertex", f.per_vertex_marking_bytes),
             "1 bit/vertex + 2 words/PE".to_string(),
         ]);

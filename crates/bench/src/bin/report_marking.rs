@@ -2,13 +2,16 @@
 //! quiescent graphs — correctness against the oracle and cost/shape of
 //! the marking wave across graph sizes, degrees and schedules.
 
-use dgr_bench::{f2, print_table, timed};
+use dgr_bench::{f2, print_table, timed, write_json_records, JsonValue};
 use dgr_core::driver::{run_mark1, MarkRunConfig};
-use dgr_graph::oracle;
+use dgr_graph::{oracle, Slot};
 use dgr_sim::SchedPolicy;
 use dgr_workloads::graphs::{binary_tree, chain, random_digraph};
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let mut records = Vec::new();
+
     // Size sweep on random digraphs.
     let mut rows = Vec::new();
     for &n in &[1_000usize, 10_000, 100_000] {
@@ -20,7 +23,7 @@ fn main() {
             // Verify against the oracle.
             let agree = g
                 .live_ids()
-                .all(|v| reach.contains(v) == g.vertex(v).mr.is_marked());
+                .all(|v| reach.contains(v) == g.mark(v, Slot::R).is_marked());
             assert!(agree, "marking disagrees with the oracle");
             rows.push(vec![
                 n.to_string(),
@@ -32,33 +35,61 @@ fn main() {
                 stats.remote_messages.to_string(),
                 f2(ms),
             ]);
+            records.push(vec![
+                (
+                    "benchmark",
+                    JsonValue::Str(format!("detsim_fifo_random_digraph_deg{deg:.0}")),
+                ),
+                ("vertices", JsonValue::Int(n as u64)),
+                ("pes", JsonValue::Int(cfg.num_pes as u64)),
+                ("messages", JsonValue::Int(stats.events)),
+                ("wall_us", JsonValue::Float(ms * 1e3)),
+            ]);
         }
     }
     print_table(
         "F4-1a: mark1 on random digraphs (4 PEs, FIFO)",
         &[
-            "|V|", "degree", "|R|", "marked", "events", "events/|R|", "remote", "ms",
+            "|V|",
+            "degree",
+            "|R|",
+            "marked",
+            "events",
+            "events/|R|",
+            "remote",
+            "ms",
         ],
         &rows,
     );
 
-    // Shape sweep: tree vs chain (parallel wavefront vs sequential path).
+    // Shape sweep: tree vs chain (parallel wavefront vs sequential path),
+    // plus the depth-15 tree (65k vertices) — the scalability experiments'
+    // reference workload — under the det-sim FIFO schedule.
     let mut rows = Vec::new();
-    for (name, mut g) in [
-        ("tree d=14".to_string(), binary_tree(14)),
-        ("chain 32k".to_string(), chain(32_768)),
+    for (name, slug, mut g) in [
+        ("tree d=14", "detsim_fifo_tree_d14", binary_tree(14)),
+        ("tree d=15", "detsim_fifo_tree_d15", binary_tree(15)),
+        ("chain 32k", "detsim_fifo_chain_32k", chain(32_768)),
     ] {
+        let vertices = g.live_ids().count() as u64;
         let cfg = MarkRunConfig::default();
         let (stats, ms) = timed(|| run_mark1(&mut g, &cfg));
         rows.push(vec![
-            name,
+            name.to_string(),
             stats.marked.to_string(),
             stats.events.to_string(),
             f2(ms),
         ]);
+        records.push(vec![
+            ("benchmark", JsonValue::Str(slug.to_string())),
+            ("vertices", JsonValue::Int(vertices)),
+            ("pes", JsonValue::Int(cfg.num_pes as u64)),
+            ("messages", JsonValue::Int(stats.events)),
+            ("wall_us", JsonValue::Float(ms * 1e3)),
+        ]);
     }
     print_table(
-        "F4-1b: marking-tree shape (same |V|, different parallelism)",
+        "F4-1b: marking-tree shape (tree wavefront vs sequential chain)",
         &["graph", "marked", "events", "ms"],
         &rows,
     );
@@ -95,4 +126,9 @@ fn main() {
         &["policy", "marked", "events"],
         &rows,
     );
+
+    if json {
+        write_json_records("BENCH_marking.json", &records).expect("writing BENCH_marking.json");
+        println!("\nwrote BENCH_marking.json ({} records)", records.len());
+    }
 }

@@ -35,7 +35,11 @@ fn main() {
             }
         }
         if gc.sys.events() / SAMPLE_EVERY > gc_samples.len() as u64 {
-            gc_samples.push((gc.sys.events(), gc.sys.graph.live_count(), gc.sys.graph.capacity()));
+            gc_samples.push((
+                gc.sys.events(),
+                gc.sys.graph.live_count(),
+                gc.sys.graph.capacity(),
+            ));
         }
         if gc.sys.result.is_some() {
             break;
@@ -53,8 +57,12 @@ fn main() {
     plain.demand_root();
     let mut plain_samples: Vec<(u64, usize, usize)> = Vec::new();
     while plain.result.is_none() && plain.step() {
-        if plain.events() % SAMPLE_EVERY == 0 {
-            plain_samples.push((plain.events(), plain.graph.live_count(), plain.graph.capacity()));
+        if plain.events().is_multiple_of(SAMPLE_EVERY) {
+            plain_samples.push((
+                plain.events(),
+                plain.graph.live_count(),
+                plain.graph.capacity(),
+            ));
         }
     }
     let plain_final = (
@@ -78,13 +86,7 @@ fn main() {
         .collect();
     print_table(
         &format!("T8: heap over time for `{SRC}`"),
-        &[
-            "events",
-            "gc live",
-            "gc heap",
-            "no-gc live",
-            "no-gc heap",
-        ],
+        &["events", "gc live", "gc heap", "no-gc live", "no-gc heap"],
         &rows,
     );
     println!(

@@ -6,8 +6,8 @@
 //! interleaves reduction tasks throughout (the overlap column), so the
 //! mutator never observes a pause longer than one task execution.
 
-use dgr_bench::{f2, print_table};
 use dgr_baseline::stw::collect_stw;
+use dgr_bench::{f2, print_table};
 use dgr_gc::{GcConfig, GcDriver};
 use dgr_lang::build_with_prelude;
 use dgr_reduction::SystemConfig;

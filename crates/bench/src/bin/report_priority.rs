@@ -13,7 +13,7 @@
 use dgr_bench::{f2, print_table};
 use dgr_core::driver::{run_mark1, run_mark2, MarkRunConfig};
 use dgr_gc::{GcConfig, GcDriver};
-use dgr_graph::{oracle, GraphStore, NodeLabel, RequestKind};
+use dgr_graph::{oracle, GraphStore, NodeLabel, RequestKind, Slot};
 use dgr_lang::build_with_prelude;
 use dgr_reduction::SystemConfig;
 use dgr_sim::SchedPolicy;
@@ -69,7 +69,10 @@ fn main() {
             // Verify priorities against the oracle.
             let want = oracle::priorities(&g);
             for v in g.live_ids() {
-                let got = g.vertex(v).mr.is_marked().then(|| g.vertex(v).mr.prior);
+                let got = g
+                    .mark(v, Slot::R)
+                    .is_marked()
+                    .then(|| g.mark(v, Slot::R).prior);
                 assert_eq!(got, want[v.index()], "priority mismatch at {v}");
             }
             rows.push(vec![
@@ -83,7 +86,13 @@ fn main() {
     }
     print_table(
         "F5-1/2: mark2 re-marking overhead on the eager-shortcut ladder",
-        &["rungs", "policy", "mark1 events", "mark2 events", "overhead"],
+        &[
+            "rungs",
+            "policy",
+            "mark1 events",
+            "mark2 events",
+            "overhead",
+        ],
         &rows,
     );
 
@@ -121,7 +130,14 @@ fn main() {
     print_table(
         "T6: eager→vital upgrade propagation (speculated chosen branch, \
          PriorityFirst starves the eager lane between cycles)",
-        &["GC period", "outcome", "upgrades", "relaned", "cycles", "events"],
+        &[
+            "GC period",
+            "outcome",
+            "upgrades",
+            "relaned",
+            "cycles",
+            "events",
+        ],
         &rows,
     );
     println!(

@@ -7,7 +7,7 @@
 //! runtime's cross-PE message counts are reported instead, showing the
 //! communication the partitioning strategy induces.)
 
-use dgr_bench::{f2, print_table, timed};
+use dgr_bench::{f2, print_table, timed, write_json_records, JsonValue};
 use dgr_core::driver::{run_mark1, run_mark1_bsp, MarkRunConfig};
 use dgr_core::threaded::{reset_shared_r, run_mark1_shared};
 use dgr_graph::PartitionStrategy;
@@ -15,6 +15,8 @@ use dgr_sim::SharedGraph;
 use dgr_workloads::graphs::{binary_tree_dfs, random_digraph};
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let mut records = Vec::new();
     // T5a: ideal parallel time (BSP rounds) vs PEs.
     let mut rows = Vec::new();
     let mut base_rounds = 0u64;
@@ -56,19 +58,40 @@ fn main() {
 
     // T5c: threaded runtime — cross-PE messages under each placement, and
     // wall time (flat on a single-core host; the message counts are the
-    // hardware-independent signal).
-    let mut rows = Vec::new();
-    let shared = SharedGraph::from_store(binary_tree_dfs(16));
-    for &pes in &[1u16, 2, 4, 8, 16] {
-        reset_shared_r(&shared);
-        let (msgs, ms) = timed(|| run_mark1_shared(&shared, pes, PartitionStrategy::Block));
-        rows.push(vec![pes.to_string(), msgs.to_string(), f2(ms)]);
+    // hardware-independent signal). The timed region is the marking pass
+    // alone: the shared graph is built once and epoch-reset per run.
+    for (depth, vertices) in [(15u32, 32767u64 * 2 + 1), (16, 65535 * 2 + 1)] {
+        let mut rows = Vec::new();
+        let shared = SharedGraph::from_store(binary_tree_dfs(depth as usize));
+        for &pes in &[1u16, 2, 4, 8, 16] {
+            reset_shared_r(&shared);
+            let (stats, ms) = timed(|| run_mark1_shared(&shared, pes, PartitionStrategy::Block));
+            rows.push(vec![
+                pes.to_string(),
+                stats.messages.to_string(),
+                stats.envelopes.to_string(),
+                f2(ms),
+            ]);
+            records.push(vec![
+                (
+                    "benchmark",
+                    JsonValue::Str(format!("threaded_mark1_tree_d{depth}")),
+                ),
+                ("vertices", JsonValue::Int(vertices)),
+                ("pes", JsonValue::Int(pes as u64)),
+                ("messages", JsonValue::Int(stats.messages)),
+                ("wall_us", JsonValue::Float(ms * 1e3)),
+            ]);
+        }
+        print_table(
+            &format!(
+                "T5c: threaded runtime, DFS-numbered tree depth {depth} + block \
+                 partition ({vertices} vertices)"
+            ),
+            &["PEs", "tasks", "cross-PE messages", "wall ms (1-core host)"],
+            &rows,
+        );
     }
-    print_table(
-        "T5c: threaded runtime, DFS-numbered tree + block partition (131k vertices)",
-        &["PEs", "cross-PE messages", "wall ms (1-core host)"],
-        &rows,
-    );
 
     // T5d: cross-partition traffic by placement in the event simulator.
     let mut rows = Vec::new();
@@ -104,4 +127,10 @@ fn main() {
          parallelism); locality-aware placement (DFS + block) needs orders of \
          magnitude fewer cross-PE messages than hashed placement."
     );
+
+    if json {
+        write_json_records("BENCH_scalability.json", &records)
+            .expect("writing BENCH_scalability.json");
+        println!("\nwrote BENCH_scalability.json ({} records)", records.len());
+    }
 }

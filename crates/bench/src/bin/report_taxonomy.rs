@@ -71,7 +71,10 @@ fn main() {
                 // engine's dangling counter staying zero below.
             }
         }
-        assert_eq!(gc.sys.stats.dangling_requests, 0, "no task ever reached a freed vertex");
+        assert_eq!(
+            gc.sys.stats.dangling_requests, 0,
+            "no task ever reached a freed vertex"
+        );
 
         if rows.len() >= 30 {
             continue; // table stays readable; the run continues to the result

@@ -83,7 +83,10 @@ pub fn run_mark1_compressed(
     let mut stats = CompressedStats::default();
     let mut done = false;
 
-    net.push_back(Msg::Mark { v: root, from: EXTERNAL });
+    net.push_back(Msg::Mark {
+        v: root,
+        from: EXTERNAL,
+    });
 
     // One scheduler turn: deliver a network message or advance one PE's
     // local work list; a PE with an empty list and zero deficit
@@ -127,11 +130,10 @@ pub fn run_mark1_compressed(
             if let Some(v) = local[me as usize].pop() {
                 progressed = true;
                 stats.local_steps += 1;
-                let vert = g.vertex(v);
-                if vert.is_free() || !vert.slot(Slot::R).is_unmarked() {
+                if g.is_free(v) || !g.mark(v, Slot::R).is_unmarked() {
                     continue;
                 }
-                g.vertex_mut(v).slot_mut(Slot::R).color = Color::Marked;
+                g.mark_mut(v, Slot::R).color = Color::Marked;
                 stats.marked += 1;
                 for c in g.vertex(v).r_children() {
                     let dst = partition.pe_of(c).raw();
@@ -184,7 +186,7 @@ mod tests {
         for v in g.live_ids() {
             assert_eq!(
                 want.contains(v),
-                g.vertex(v).slot(Slot::R).is_marked(),
+                g.mark(v, Slot::R).is_marked(),
                 "vertex {v}"
             );
         }

@@ -91,19 +91,19 @@ pub fn add_reference(
     }
     if state.cooperation_enabled {
         if let Some(mode) = state.r_mode {
-            let sa = g.vertex(a).slot(Slot::R).color;
-            let sb = g.vertex(b).slot(Slot::R).color;
+            let sa = g.mark(a, Slot::R).color;
+            let sb = g.mark(b, Slot::R).color;
             use dgr_graph::Color::*;
             if sa == Transient && sb == Unmarked {
                 // Marking may already have passed a without seeing c via
                 // this new arc; hang an extra mark for c on a.
-                g.vertex_mut(a).slot_mut(Slot::R).mt_cnt += 1;
+                g.mark_mut(a, Slot::R).mt_cnt += 1;
                 sink(r_mark(mode, c, MarkParent::Vertex(a)));
             } else if sa == Marked && sb == Transient {
                 // a is marked, so c must not remain unmarked once the arc
                 // exists: execute the mark synchronously, hung on the
                 // transient b.
-                g.vertex_mut(b).slot_mut(Slot::R).mt_cnt += 1;
+                g.mark_mut(b, Slot::R).mt_cnt += 1;
                 let msg = r_mark(mode, c, MarkParent::Vertex(b));
                 handle_mark(state, g, msg, sink);
             }
@@ -148,8 +148,8 @@ pub fn coop_t_arc(
     if !state.cooperation_enabled || !state.t_active {
         return;
     }
-    if g.vertex(from).slot(Slot::T).is_transient() {
-        g.vertex_mut(from).slot_mut(Slot::T).mt_cnt += 1;
+    if g.mark(from, Slot::T).is_transient() {
+        g.mark_mut(from, Slot::T).mt_cnt += 1;
         sink(MarkMsg::Mark3 {
             v: to,
             par: MarkParent::Vertex(from),
@@ -175,9 +175,9 @@ pub fn coop_r_arc(
         return;
     }
     let Some(mode) = state.r_mode else { return };
-    match g.vertex(from).slot(Slot::R).color {
+    match g.mark(from, Slot::R).color {
         dgr_graph::Color::Transient => {
-            g.vertex_mut(from).slot_mut(Slot::R).mt_cnt += 1;
+            g.mark_mut(from, Slot::R).mt_cnt += 1;
             sink(r_mark(mode, to, MarkParent::Vertex(from)));
         }
         dgr_graph::Color::Marked => {
@@ -229,8 +229,8 @@ pub fn expand_node(
     sink: &mut dyn FnMut(MarkMsg),
 ) -> Result<Vec<VertexId>, GraphError> {
     // Record the colors *before* the splice mutates anything.
-    let pre_r = g.vertex(a).slot(Slot::R).color;
-    let pre_t = g.vertex(a).slot(Slot::T).color;
+    let pre_r = g.mark(a, Slot::R).color;
+    let pre_t = g.mark(a, Slot::T).color;
 
     let fresh = tpl.instantiate(g, a, actuals)?;
 
@@ -238,7 +238,7 @@ pub fn expand_node(
         use dgr_graph::Color::*;
         if let Some(mode) = state.r_mode {
             for &f in &fresh {
-                let s = g.vertex_mut(f).slot_mut(Slot::R);
+                let s = g.mark_mut(f, Slot::R);
                 s.mt_cnt = 0;
                 s.mt_par = None;
                 if pre_r == Marked {
@@ -260,12 +260,12 @@ pub fn expand_node(
                 for c in kids {
                     sink(r_mark(mode, c, MarkParent::Vertex(a)));
                 }
-                g.vertex_mut(a).slot_mut(Slot::R).mt_cnt += spawned;
+                g.mark_mut(a, Slot::R).mt_cnt += spawned;
             }
         }
         if state.t_active {
             for &f in &fresh {
-                let s = g.vertex_mut(f).slot_mut(Slot::T);
+                let s = g.mark_mut(f, Slot::T);
                 s.mt_cnt = 0;
                 s.mt_par = None;
                 s.color = if pre_t == Marked { Marked } else { Unmarked };
@@ -282,7 +282,7 @@ pub fn expand_node(
                         par: MarkParent::Vertex(a),
                     });
                 }
-                g.vertex_mut(a).slot_mut(Slot::T).mt_cnt += spawned;
+                g.mark_mut(a, Slot::T).mt_cnt += spawned;
             }
         }
     }
@@ -333,7 +333,7 @@ mod tests {
             },
             &mut |m| pending.push(m),
         );
-        assert!(g.vertex(a).mr.is_transient());
+        assert!(g.mark(a, Slot::R).is_transient());
 
         // Mutator: connect a → c, then delete b → c.
         let mut extra = Vec::new();
@@ -344,7 +344,7 @@ mod tests {
         pending.extend(extra);
         drain(&mut state, &mut g, pending);
         assert!(state.r_done);
-        assert!(g.vertex(c).mr.is_marked(), "c was not lost");
+        assert!(g.mark(c, Slot::R).is_marked(), "c was not lost");
     }
 
     #[test]
@@ -382,7 +382,7 @@ mod tests {
         drain(&mut state, &mut g, pending);
         assert!(state.r_done);
         assert!(
-            g.vertex(c).mr.is_unmarked(),
+            g.mark(c, Slot::R).is_unmarked(),
             "static-graph assumption loses c"
         );
     }
@@ -399,20 +399,23 @@ mod tests {
         let mut state = MarkState::new();
         state.begin_r(RMode::Simple);
         // Hand-construct: a marked, b transient (mid-marking), c unmarked.
-        g.vertex_mut(a).mr.color = Color::Marked;
-        g.vertex_mut(b).mr.color = Color::Transient;
-        g.vertex_mut(b).mr.mt_par = Some(MarkParent::Vertex(a));
-        g.vertex_mut(b).mr.mt_cnt = 1; // owes the mark on c
+        g.mark_mut(a, Slot::R).color = Color::Marked;
+        g.mark_mut(b, Slot::R).color = Color::Transient;
+        g.mark_mut(b, Slot::R).mt_par = Some(MarkParent::Vertex(a));
+        g.mark_mut(b, Slot::R).mt_cnt = 1; // owes the mark on c
 
         let mut out = Vec::new();
         add_reference(&mut state, &mut g, a, b, c, &mut |m| out.push(m)).unwrap();
         // Executed synchronously: c at least transient already.
         assert!(
-            !g.vertex(c).mr.is_unmarked(),
+            !g.mark(c, Slot::R).is_unmarked(),
             "invariant 2 restored synchronously"
         );
-        assert_eq!(g.vertex(b).mr.mt_cnt, 2);
-        assert_eq!(g.vertex(a).r_children().iter().filter(|&&x| x == c).count(), 1);
+        assert_eq!(g.mark(b, Slot::R).mt_cnt, 2);
+        assert_eq!(
+            g.vertex(a).r_children().iter().filter(|&&x| x == c).count(),
+            1
+        );
     }
 
     #[test]
@@ -447,14 +450,14 @@ mod tests {
         let x = g.alloc(NodeLabel::If).unwrap();
         let mut state = MarkState::new();
         state.begin_t(1);
-        g.vertex_mut(v).mt.color = Color::Transient;
-        g.vertex_mut(v).mt.mt_par = Some(MarkParent::TaskRootPar);
+        g.mark_mut(v, Slot::T).color = Color::Transient;
+        g.mark_mut(v, Slot::T).mt_par = Some(MarkParent::TaskRootPar);
 
         let mut out = Vec::new();
         add_requester(&mut state, &mut g, v, Requester::Vertex(x), &mut |m| {
             out.push(m)
         });
-        assert_eq!(g.vertex(v).mt.mt_cnt, 1);
+        assert_eq!(g.mark(v, Slot::T).mt_cnt, 1);
         assert_eq!(
             out,
             vec![MarkMsg::Mark3 {
@@ -478,12 +481,12 @@ mod tests {
         state.begin_t(1);
         state.return_to_troot(); // the original pass finished...
         assert!(state.t_done);
-        g.vertex_mut(v).mt.color = Color::Marked;
+        g.mark_mut(v, Slot::T).color = Color::Marked;
 
         add_requester(&mut state, &mut g, v, Requester::Vertex(x), &mut |_| {
             panic!("no marks for arcs out of finished vertices")
         });
-        assert!(g.vertex(x).mt.is_unmarked());
+        assert!(g.mark(x, Slot::T).is_unmarked());
         assert!(state.t_done, "termination is never re-armed");
         assert_eq!(g.vertex(v).requested(), &[Requester::Vertex(x)]);
     }
@@ -494,7 +497,7 @@ mod tests {
         let v = g.alloc(NodeLabel::If).unwrap();
         let mut state = MarkState::new();
         state.begin_t(1);
-        g.vertex_mut(v).mt.color = Color::Marked;
+        g.mark_mut(v, Slot::T).color = Color::Marked;
         add_requester(&mut state, &mut g, v, Requester::External, &mut |_| {
             panic!("no marks for external requesters")
         });
@@ -524,19 +527,24 @@ mod tests {
         g.connect(app, arg);
         let mut state = MarkState::new();
         state.begin_r(RMode::Priority);
-        g.vertex_mut(app).mr.color = Color::Marked;
-        g.vertex_mut(app).mr.prior = Priority::Vital;
-        g.vertex_mut(arg).mr.color = Color::Marked;
-        g.vertex_mut(arg).mr.prior = Priority::Vital;
+        g.mark_mut(app, Slot::R).color = Color::Marked;
+        g.mark_mut(app, Slot::R).prior = Priority::Vital;
+        g.mark_mut(arg, Slot::R).color = Color::Marked;
+        g.mark_mut(arg, Slot::R).prior = Priority::Vital;
 
-        let fresh = expand_node(&mut state, &mut g, app, &inc_template(), &[arg], &mut |_| {
-            panic!("no marks when parent marked")
-        })
+        let fresh = expand_node(
+            &mut state,
+            &mut g,
+            app,
+            &inc_template(),
+            &[arg],
+            &mut |_| panic!("no marks when parent marked"),
+        )
         .unwrap();
         for f in fresh {
-            assert!(g.vertex(f).mr.is_marked());
+            assert!(g.mark(f, Slot::R).is_marked());
             // Reachable only through fresh unrequested arcs: Reserve.
-            assert_eq!(g.vertex(f).mr.prior, Priority::Reserve);
+            assert_eq!(g.mark(f, Slot::R).prior, Priority::Reserve);
         }
     }
 
@@ -548,9 +556,9 @@ mod tests {
         g.connect(app, arg);
         let mut state = MarkState::new();
         state.begin_r(RMode::Simple);
-        g.vertex_mut(app).mr.color = Color::Transient;
-        g.vertex_mut(app).mr.mt_par = Some(MarkParent::RootPar);
-        g.vertex_mut(app).mr.mt_cnt = 1; // owes a mark to arg (in flight)
+        g.mark_mut(app, Slot::R).color = Color::Transient;
+        g.mark_mut(app, Slot::R).mt_par = Some(MarkParent::RootPar);
+        g.mark_mut(app, Slot::R).mt_cnt = 1; // owes a mark to arg (in flight)
 
         let mut out = Vec::new();
         let fresh = expand_node(&mut state, &mut g, app, &inc_template(), &[arg], &mut |m| {
@@ -558,11 +566,11 @@ mod tests {
         })
         .unwrap();
         for &f in &fresh {
-            assert!(g.vertex(f).mr.is_unmarked());
+            assert!(g.mark(f, Slot::R).is_unmarked());
         }
         // Marks spawned on the NEW children of app (= [arg, fresh[0]]).
         assert_eq!(out.len(), 2);
-        assert_eq!(g.vertex(app).mr.mt_cnt, 3);
+        assert_eq!(g.mark(app, Slot::R).mt_cnt, 3);
     }
 
     #[test]
@@ -573,12 +581,17 @@ mod tests {
         g.connect(app, arg);
         let mut state = MarkState::new();
         state.begin_r(RMode::Simple);
-        let fresh = expand_node(&mut state, &mut g, app, &inc_template(), &[arg], &mut |_| {
-            panic!("no marks for unmarked parent")
-        })
+        let fresh = expand_node(
+            &mut state,
+            &mut g,
+            app,
+            &inc_template(),
+            &[arg],
+            &mut |_| panic!("no marks for unmarked parent"),
+        )
         .unwrap();
         for f in fresh {
-            assert!(g.vertex(f).mr.is_unmarked());
+            assert!(g.mark(f, Slot::R).is_unmarked());
         }
     }
 }

@@ -57,11 +57,11 @@ pub struct MarkStats {
 }
 
 /// Resets one marking slot on every vertex (free-list vertices included) —
-/// the preparation step at the start of each marking cycle.
+/// the preparation step at the start of each marking cycle. O(1): bumps
+/// the store's epoch for the slot, and stale per-vertex state is reset
+/// lazily on first access (see [`GraphStore::begin_mark_cycle`]).
 pub fn reset_slot(g: &mut GraphStore, slot: Slot) {
-    for id in g.ids() {
-        g.vertex_mut(id).slot_mut(slot).reset();
-    }
+    g.begin_mark_cycle(slot);
 }
 
 /// Routes a marking message to the PE owning its destination vertex;
@@ -112,7 +112,7 @@ fn run_pass(
     }
     stats.marked = g
         .live_ids()
-        .filter(|&v| g.vertex(v).slot(slot).is_marked())
+        .filter(|&v| g.mark(v, slot).is_marked())
         .count();
     stats
 }
@@ -213,11 +213,7 @@ pub struct BspStats {
 /// # Panics
 ///
 /// Panics if the graph has no root or termination is not signalled.
-pub fn run_mark1_bsp(
-    g: &mut GraphStore,
-    num_pes: u16,
-    strategy: PartitionStrategy,
-) -> BspStats {
+pub fn run_mark1_bsp(g: &mut GraphStore, num_pes: u16, strategy: PartitionStrategy) -> BspStats {
     use std::collections::VecDeque;
     let root = g.root().expect("marking needs a root");
     reset_slot(g, Slot::R);
@@ -286,7 +282,7 @@ mod tests {
             let stats = run_mark1_bsp(&mut g2, pes, PartitionStrategy::Modulo);
             assert_eq!(stats.events, 2 * n as u64, "one mark + one return each");
             for v in g2.live_ids() {
-                assert!(g2.vertex(v).mr.is_marked());
+                assert!(g2.mark(v, Slot::R).is_marked());
             }
             rounds.push(stats.rounds);
         }
@@ -329,9 +325,9 @@ mod tests {
             let stats = run_mark1(&mut g, &cfg);
             let r = oracle::reachable_r(&g);
             for v in [root, a, b, c] {
-                assert!(r.contains(v) && g.vertex(v).mr.is_marked());
+                assert!(r.contains(v) && g.mark(v, Slot::R).is_marked());
             }
-            assert!(!r.contains(stray) && g.vertex(stray).mr.is_unmarked());
+            assert!(!r.contains(stray) && g.mark(stray, Slot::R).is_unmarked());
             assert_eq!(stats.marked, 4);
         }
     }
@@ -352,9 +348,11 @@ mod tests {
             .set_request_kind(1, Some(RequestKind::Eager));
         g.connect(root, e);
         g.connect(t, shared);
-        g.vertex_mut(t).set_request_kind(0, Some(RequestKind::Vital));
+        g.vertex_mut(t)
+            .set_request_kind(0, Some(RequestKind::Vital));
         g.connect(p, shared);
-        g.vertex_mut(p).set_request_kind(0, Some(RequestKind::Vital));
+        g.vertex_mut(p)
+            .set_request_kind(0, Some(RequestKind::Vital));
         g.set_root(root);
 
         let cfg = MarkRunConfig {
@@ -364,7 +362,10 @@ mod tests {
         run_mark2(&mut g, &cfg);
         let want = oracle::priorities(&g);
         for v in g.live_ids() {
-            let got = g.vertex(v).mr.is_marked().then(|| g.vertex(v).mr.prior);
+            let got = g
+                .mark(v, Slot::R)
+                .is_marked()
+                .then(|| g.mark(v, Slot::R).prior);
             assert_eq!(got, want[v.index()], "priority mismatch at {v}");
         }
         crate::invariants::check_priority_closure(&g).unwrap();
@@ -387,7 +388,10 @@ mod tests {
             run_mark2(&mut g, &cfg);
             let want = oracle::priorities(&g);
             for v in g.live_ids() {
-                let got = g.vertex(v).mr.is_marked().then(|| g.vertex(v).mr.prior);
+                let got = g
+                    .mark(v, Slot::R)
+                    .is_marked()
+                    .then(|| g.mark(v, Slot::R).prior);
                 assert_eq!(got, want[v.index()], "seed {seed}, vertex {v}");
             }
         }
@@ -399,7 +403,8 @@ mod tests {
         // One task whose destination is a; root has requested a and b...
         g.vertex_mut(root)
             .set_request_kind(0, Some(RequestKind::Vital));
-        g.vertex_mut(a).add_requester(dgr_graph::Requester::Vertex(root));
+        g.vertex_mut(a)
+            .add_requester(dgr_graph::Requester::Vertex(root));
         let mut tasks = TaskEndpoints::new();
         tasks.push_task(Some(root), a);
 
@@ -409,7 +414,7 @@ mod tests {
         for v in [root, a, b, c, stray] {
             assert_eq!(
                 t.contains(v),
-                g.vertex(v).mt.is_marked(),
+                g.mark(v, Slot::T).is_marked(),
                 "T mismatch at {v}"
             );
         }
@@ -450,10 +455,10 @@ mod tests {
     fn reset_slot_clears_previous_cycle() {
         let (mut g, [root, ..]) = diamond();
         run_mark1(&mut g, &MarkRunConfig::default());
-        assert!(g.vertex(root).mr.is_marked());
+        assert!(g.mark(root, Slot::R).is_marked());
         reset_slot(&mut g, Slot::R);
-        assert!(g.vertex(root).mr.is_unmarked());
-        assert_eq!(g.vertex(root).mr.mt_cnt, 0);
+        assert!(g.mark(root, Slot::R).is_unmarked());
+        assert_eq!(g.mark(root, Slot::R).mt_cnt, 0);
     }
 
     #[test]

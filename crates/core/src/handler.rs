@@ -30,14 +30,6 @@ pub fn handle_mark(
     }
 }
 
-/// Children traced by a marking process in the given slot.
-fn children_of(g: &GraphStore, slot: Slot, v: VertexId) -> Vec<VertexId> {
-    match slot {
-        Slot::R => g.vertex(v).r_children(),
-        Slot::T => g.vertex(v).t_children(),
-    }
-}
-
 /// `mark1` / `mark3` (Figures 4-1 and 5-3): identical control flow, only
 /// the slot and the traced child set differ.
 fn mark_simple(
@@ -51,22 +43,32 @@ fn mark_simple(
         Slot::R => MarkMsg::Mark1 { v: c, par: p },
         Slot::T => MarkMsg::Mark3 { v: c, par: p },
     };
-    if g.vertex(v).is_free() || !g.vertex(v).slot(slot).is_unmarked() {
+    if g.vertex(v).is_free() || !g.mark(v, slot).is_unmarked() {
         sink(MarkMsg::Return { slot, to: par });
         return;
     }
     // touch(v); mt-par(v) := par
     {
-        let s = g.vertex_mut(v).slot_mut(slot);
+        let s = g.mark_mut(v, slot);
         s.color = Color::Transient;
         s.mt_par = Some(par);
     }
-    let children = children_of(g, slot, v);
-    let spawned = children.len() as u32;
-    for c in children {
-        sink(mk(c, MarkParent::Vertex(v)));
+    // Spawn a mark for every traced child without materializing the child
+    // list — one task per marked vertex makes this the hottest allocation
+    // site of a pass.
+    let mut spawned = 0u32;
+    {
+        let vert = g.vertex(v);
+        let mut visit = |c: VertexId| {
+            spawned += 1;
+            sink(mk(c, MarkParent::Vertex(v)));
+        };
+        match slot {
+            Slot::R => vert.for_each_r_child(&mut visit),
+            Slot::T => vert.for_each_t_child(&mut visit),
+        }
     }
-    let s = g.vertex_mut(v).slot_mut(slot);
+    let s = g.mark_mut(v, slot);
     s.mt_cnt += spawned;
     if s.mt_cnt == 0 {
         s.color = Color::Marked;
@@ -89,7 +91,7 @@ fn mark2(
         });
         return;
     }
-    let slot = g.vertex(v).slot(Slot::R);
+    let slot = g.mark(v, Slot::R);
     if slot.is_unmarked() {
         modify(g, v, par, prior, sink);
     } else if prior <= slot.prior {
@@ -121,7 +123,7 @@ fn modify(
     sink: &mut dyn FnMut(MarkMsg),
 ) {
     {
-        let s = g.vertex_mut(v).slot_mut(Slot::R);
+        let s = g.mark_mut(v, Slot::R);
         s.color = Color::Transient;
         s.mt_par = Some(par);
         s.prior = prior;
@@ -138,7 +140,7 @@ fn modify(
     // `+=`, not `=`: when re-marking a transient vertex, marks from the
     // previous traversal are still outstanding and their returns must be
     // absorbed before the vertex completes.
-    let s = g.vertex_mut(v).slot_mut(Slot::R);
+    let s = g.mark_mut(v, Slot::R);
     s.mt_cnt += spawned;
     if s.mt_cnt == 0 {
         s.color = Color::Marked;
@@ -168,7 +170,7 @@ fn return1(
             Slot::R => state.return_r_extra(),
         },
         MarkParent::Vertex(v) => {
-            let s = g.vertex_mut(v).slot_mut(slot);
+            let s = g.mark_mut(v, slot);
             debug_assert!(s.mt_cnt > 0, "return to {v} with mt-cnt 0");
             s.mt_cnt -= 1;
             if s.mt_cnt == 0 {
@@ -223,10 +225,10 @@ mod tests {
         );
         assert!(state.r_done);
         for v in [root, a, b] {
-            assert!(g.vertex(v).mr.is_marked());
-            assert_eq!(g.vertex(v).mr.mt_cnt, 0);
+            assert!(g.mark(v, Slot::R).is_marked());
+            assert_eq!(g.mark(v, Slot::R).mt_cnt, 0);
         }
-        assert!(g.vertex(stray).mr.is_unmarked());
+        assert!(g.mark(stray, Slot::R).is_unmarked());
     }
 
     #[test]
@@ -249,7 +251,7 @@ mod tests {
             },
         );
         assert!(state.r_done);
-        assert!(g.vertex(x).mr.is_marked() && g.vertex(y).mr.is_marked());
+        assert!(g.mark(x, Slot::R).is_marked() && g.mark(y, Slot::R).is_marked());
     }
 
     #[test]
@@ -283,7 +285,8 @@ mod tests {
         g.vertex_mut(root)
             .set_request_kind(0, Some(RequestKind::Vital));
         g.connect(a, b);
-        g.vertex_mut(a).set_request_kind(0, Some(RequestKind::Eager));
+        g.vertex_mut(a)
+            .set_request_kind(0, Some(RequestKind::Eager));
         g.connect(root, c);
         g.set_root(root);
 
@@ -299,10 +302,10 @@ mod tests {
             },
         );
         assert!(state.r_done);
-        assert_eq!(g.vertex(root).mr.prior, Priority::Vital);
-        assert_eq!(g.vertex(a).mr.prior, Priority::Vital);
-        assert_eq!(g.vertex(b).mr.prior, Priority::Eager);
-        assert_eq!(g.vertex(c).mr.prior, Priority::Reserve);
+        assert_eq!(g.mark(root, Slot::R).prior, Priority::Vital);
+        assert_eq!(g.mark(a, Slot::R).prior, Priority::Vital);
+        assert_eq!(g.mark(b, Slot::R).prior, Priority::Eager);
+        assert_eq!(g.mark(c, Slot::R).prior, Priority::Reserve);
     }
 
     #[test]
@@ -323,9 +326,11 @@ mod tests {
         g.vertex_mut(root)
             .set_request_kind(1, Some(RequestKind::Vital));
         g.connect(mid, d);
-        g.vertex_mut(mid).set_request_kind(0, Some(RequestKind::Vital));
+        g.vertex_mut(mid)
+            .set_request_kind(0, Some(RequestKind::Vital));
         g.connect(d, below);
-        g.vertex_mut(d).set_request_kind(0, Some(RequestKind::Vital));
+        g.vertex_mut(d)
+            .set_request_kind(0, Some(RequestKind::Vital));
         g.set_root(root);
 
         let mut state = MarkState::new();
@@ -340,12 +345,16 @@ mod tests {
             },
         );
         assert!(state.r_done);
-        assert_eq!(g.vertex(d).mr.prior, Priority::Vital, "upgraded");
-        assert_eq!(g.vertex(below).mr.prior, Priority::Vital, "descendant upgraded");
+        assert_eq!(g.mark(d, Slot::R).prior, Priority::Vital, "upgraded");
+        assert_eq!(
+            g.mark(below, Slot::R).prior,
+            Priority::Vital,
+            "descendant upgraded"
+        );
         // All mt-cnts settled.
         for v in [root, d, mid, below] {
-            assert_eq!(g.vertex(v).mr.mt_cnt, 0);
-            assert!(g.vertex(v).mr.is_marked());
+            assert_eq!(g.mark(v, Slot::R).mt_cnt, 0);
+            assert!(g.mark(v, Slot::R).is_marked());
         }
     }
 
@@ -359,7 +368,8 @@ mod tests {
         let c = g.alloc(NodeLabel::lit_int(2)).unwrap();
         let d = g.alloc(NodeLabel::lit_int(3)).unwrap();
         g.connect(a, b);
-        g.vertex_mut(a).set_request_kind(0, Some(RequestKind::Vital));
+        g.vertex_mut(a)
+            .set_request_kind(0, Some(RequestKind::Vital));
         g.connect(a, c);
         g.vertex_mut(b)
             .add_requester(dgr_graph::Requester::Vertex(a));
@@ -377,12 +387,12 @@ mod tests {
             },
         );
         assert!(state.t_done);
-        assert!(g.vertex(b).mt.is_marked());
-        assert!(g.vertex(a).mt.is_marked(), "via requested(b)");
-        assert!(g.vertex(c).mt.is_marked(), "via unrequested arc");
-        assert!(g.vertex(d).mt.is_unmarked());
+        assert!(g.mark(b, Slot::T).is_marked());
+        assert!(g.mark(a, Slot::T).is_marked(), "via requested(b)");
+        assert!(g.mark(c, Slot::T).is_marked(), "via unrequested arc");
+        assert!(g.mark(d, Slot::T).is_unmarked());
         // R slot untouched.
-        assert!(g.vertex(a).mr.is_unmarked());
+        assert!(g.mark(a, Slot::R).is_unmarked());
     }
 
     #[test]
@@ -409,7 +419,7 @@ mod tests {
                 to: MarkParent::RootPar
             }]
         );
-        assert!(g.vertex(a).mr.is_unmarked());
+        assert!(g.mark(a, Slot::R).is_unmarked());
     }
 
     #[test]

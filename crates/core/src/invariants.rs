@@ -63,7 +63,7 @@ pub fn check_invariants(
         }
     }
     for id in g.live_ids() {
-        let s = g.vertex(id).slot(slot);
+        let s = g.mark(id, slot);
         if s.is_transient() {
             if let Some(MarkParent::Vertex(p)) = s.mt_par {
                 *owed.entry(MarkParent::Vertex(p)).or_default() += 1;
@@ -74,7 +74,7 @@ pub fn check_invariants(
     }
 
     for id in g.live_ids() {
-        let s = g.vertex(id).slot(slot);
+        let s = g.mark(id, slot);
         // Invariant 3.
         let expected = owed
             .get(&MarkParent::Vertex(id))
@@ -89,7 +89,7 @@ pub fn check_invariants(
         // Invariants 1 and 2.
         if s.is_transient() || s.is_marked() {
             for c in children_of(g, slot, id) {
-                let cs = g.vertex(c).slot(slot);
+                let cs = g.mark(c, slot);
                 if cs.is_unmarked() {
                     if s.is_marked() {
                         return Err(format!(
@@ -114,22 +114,18 @@ pub fn check_invariants(
         .copied()
         .unwrap_or_default();
     match slot {
-        Slot::T if state.t_active => {
-            if state.troot_outstanding != expected {
-                return Err(format!(
-                    "troot outstanding = {} but {} unreturned marks hang on it",
-                    state.troot_outstanding, expected
-                ));
-            }
+        Slot::T if state.t_active && state.troot_outstanding != expected => {
+            return Err(format!(
+                "troot outstanding = {} but {} unreturned marks hang on it",
+                state.troot_outstanding, expected
+            ));
         }
-        Slot::R if state.r_mode.is_some() => {
-            if state.r_extra_outstanding() != expected {
-                return Err(format!(
-                    "R extra-root outstanding = {} but {} unreturned marks hang on it",
-                    state.r_extra_outstanding(),
-                    expected
-                ));
-            }
+        Slot::R if state.r_mode.is_some() && state.r_extra_outstanding() != expected => {
+            return Err(format!(
+                "R extra-root outstanding = {} but {} unreturned marks hang on it",
+                state.r_extra_outstanding(),
+                expected
+            ));
         }
         _ => {}
     }
@@ -146,13 +142,13 @@ pub fn check_invariants(
 /// Returns a description of the first violation.
 pub fn check_priority_closure(g: &GraphStore) -> Result<(), String> {
     for id in g.live_ids() {
-        let s = g.vertex(id).slot(Slot::R);
+        let s = g.mark(id, Slot::R);
         if !s.is_marked() {
             continue;
         }
         for (c, kind) in g.vertex(id).r_children_kinds() {
             let need = s.prior.min(dgr_graph::Priority::of_request(kind));
-            let cs = g.vertex(c).slot(Slot::R);
+            let cs = g.mark(c, Slot::R);
             if cs.is_unmarked() || cs.prior < need {
                 return Err(format!(
                     "priority not closed: {id}@{:?} child {c}@{:?}, needs ≥ {need:?}",
@@ -194,9 +190,9 @@ mod tests {
             par: MarkParent::RootPar,
         }];
         check_invariants(&g, Slot::R, &queue, &state).unwrap();
-        while !queue.is_empty() {
+        while let Some(m) = queue.pop() {
             // LIFO order for variety.
-            let m = queue.pop().unwrap();
+
             let mut buf = Vec::new();
             handle_mark(&mut state, &mut g, m, &mut |m| buf.push(m));
             queue.extend(buf);
@@ -250,7 +246,7 @@ mod tests {
     fn invariant_3_detects_corrupt_count() {
         let mut g = GraphStore::with_capacity(2);
         let v = g.alloc(NodeLabel::If).unwrap();
-        g.vertex_mut(v).mr.mt_cnt = 5;
+        g.mark_mut(v, Slot::R).mt_cnt = 5;
         let state = MarkState::new();
         let err = check_invariants(&g, Slot::R, &[], &state).unwrap_err();
         assert!(err.contains("invariant 3"));
@@ -262,7 +258,7 @@ mod tests {
         let v = g.alloc(NodeLabel::If).unwrap();
         let c = g.alloc(NodeLabel::lit_int(0)).unwrap();
         g.connect(v, c);
-        g.vertex_mut(v).mr.color = dgr_graph::Color::Marked;
+        g.mark_mut(v, Slot::R).color = dgr_graph::Color::Marked;
         let state = MarkState::new();
         let err = check_invariants(&g, Slot::R, &[], &state).unwrap_err();
         assert!(err.contains("invariant 2"));
@@ -274,10 +270,10 @@ mod tests {
         let v = g.alloc(NodeLabel::If).unwrap();
         let c = g.alloc(NodeLabel::lit_int(0)).unwrap();
         g.connect(v, c);
-        g.vertex_mut(v).mr.color = dgr_graph::Color::Transient;
-        g.vertex_mut(v).mr.mt_par = Some(MarkParent::RootPar);
+        g.mark_mut(v, Slot::R).color = dgr_graph::Color::Transient;
+        g.mark_mut(v, Slot::R).mt_par = Some(MarkParent::RootPar);
         // mt-cnt says one outstanding mark, but no pending message exists.
-        g.vertex_mut(v).mr.mt_cnt = 1;
+        g.mark_mut(v, Slot::R).mt_cnt = 1;
         let state = MarkState::new();
         let err = check_invariants(&g, Slot::R, &[], &state).unwrap_err();
         // Both invariant 1 and 3 are violated; either report is correct.
@@ -292,10 +288,10 @@ mod tests {
         g.connect(v, c);
         g.vertex_mut(v)
             .set_request_kind(0, Some(dgr_graph::RequestKind::Vital));
-        g.vertex_mut(v).mr.color = dgr_graph::Color::Marked;
-        g.vertex_mut(v).mr.prior = Priority::Vital;
-        g.vertex_mut(c).mr.color = dgr_graph::Color::Marked;
-        g.vertex_mut(c).mr.prior = Priority::Reserve;
+        g.mark_mut(v, Slot::R).color = dgr_graph::Color::Marked;
+        g.mark_mut(v, Slot::R).prior = Priority::Vital;
+        g.mark_mut(c, Slot::R).color = dgr_graph::Color::Marked;
+        g.mark_mut(c, Slot::R).prior = Priority::Reserve;
         assert!(check_priority_closure(&g).is_err());
     }
 }

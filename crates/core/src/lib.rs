@@ -48,8 +48,8 @@
 //! g.set_root(root);
 //!
 //! let stats = run_mark1(&mut g, &MarkRunConfig::default());
-//! assert!(g.vertex(a).slot(Slot::R).is_marked());
-//! assert!(g.vertex(root).slot(Slot::R).is_marked());
+//! assert!(g.mark(a, Slot::R).is_marked());
+//! assert!(g.mark(root, Slot::R).is_marked());
 //! assert_eq!(stats.marked, 3);
 //! # Ok(())
 //! # }

@@ -83,7 +83,10 @@ impl MarkState {
 
     /// Handles the return of an orphan R-side mark.
     pub fn return_r_extra(&mut self) {
-        debug_assert!(self.r_extra_outstanding > 0, "return without outstanding mark");
+        debug_assert!(
+            self.r_extra_outstanding > 0,
+            "return without outstanding mark"
+        );
         self.r_extra_outstanding -= 1;
         if self.r_extra_outstanding == 0 && self.r_root_returned {
             self.r_done = true;
@@ -120,7 +123,10 @@ impl MarkState {
     /// Handles a return to the virtual `troot`; sets `t_done` when the last
     /// outstanding seed returns.
     pub fn return_to_troot(&mut self) {
-        debug_assert!(self.troot_outstanding > 0, "return without outstanding seed");
+        debug_assert!(
+            self.troot_outstanding > 0,
+            "return without outstanding seed"
+        );
         self.troot_outstanding -= 1;
         if self.troot_outstanding == 0 {
             self.t_done = true;

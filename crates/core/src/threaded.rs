@@ -8,10 +8,23 @@
 //! This module is used by the scalability experiments (T5): the same
 //! algorithm that the deterministic simulator executes runs here on one
 //! OS thread per PE, against a [`SharedGraph`] with per-vertex locks.
+//!
+//! Three hot-path optimizations, all semantics-preserving:
+//!
+//! * between-pass resets are an O(1) epoch bump ([`reset_shared_r`]);
+//! * a lock-free probe of the vertex's published `(epoch, color)` word
+//!   settles already-visited vertices without taking their mutex — sound
+//!   because a vertex's color within one pass only moves forward
+//!   (Unmarked → Transient → Marked), so an observed non-Unmarked color
+//!   can only ever lead to the same immediate-return branch the locked
+//!   path would take;
+//! * each PE drains its local task pool through a reusable thread-local
+//!   scratch buffer instead of allocating a fresh one per message.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use dgr_graph::{Color, GraphStore, MarkParent, PartitionMap, PartitionStrategy, Slot, VertexId};
+use dgr_graph::{Color, GraphStore, MarkParent, PartitionMap, PartitionStrategy, Slot};
 use dgr_sim::{Envelope, Lane, SharedGraph, ThreadedRuntime};
 
 use crate::msg::MarkMsg;
@@ -24,8 +37,21 @@ fn route(partition: &PartitionMap, msg: MarkMsg) -> Envelope<MarkMsg> {
     Envelope::new(pe, Lane::Marking, msg)
 }
 
+/// Counters from one threaded `mark1` pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ThreadedMarkStats {
+    /// Marking tasks executed (marks + returns). `mark1` sends exactly
+    /// one return per mark, and marks a first visit exactly once, so this
+    /// count is schedule-independent and equals the event count of a
+    /// deterministic-simulator pass over the same graph.
+    pub messages: u64,
+    /// Cross-PE messages the runtime delivered (envelopes after local
+    /// draining, counted individually inside batches).
+    pub envelopes: u64,
+}
+
 /// Runs a complete `mark1` pass over `store` using `num_pes` OS threads,
-/// returning the marked store and the number of marking messages handled.
+/// returning the marked store and the number of marking tasks executed.
 ///
 /// The R slot is reset first. Termination is detected both by the
 /// algorithm (the `done` flag set by the return to `rootpar`) and by
@@ -42,32 +68,47 @@ pub fn run_mark1_threaded(
 ) -> (GraphStore, u64) {
     crate::driver::reset_slot(&mut store, Slot::R);
     let shared = SharedGraph::from_store(store);
-    let handled = run_mark1_shared(&shared, num_pes, strategy);
-    (shared.into_store(), handled)
+    let stats = run_mark1_shared(&shared, num_pes, strategy);
+    (shared.into_store(), stats.messages)
 }
 
-/// Resets every vertex's R slot in a shared graph (between passes).
+/// Resets every vertex's R slot in a shared graph (between passes): an
+/// O(1) epoch bump; stale per-vertex state is reset lazily on first
+/// access. Must not run concurrently with a marking pass.
 pub fn reset_shared_r(shared: &SharedGraph) {
-    for i in 0..shared.capacity() {
-        shared.lock(VertexId::new(i as u32)).mr.reset();
-    }
+    shared.begin_mark_cycle(Slot::R);
+}
+
+thread_local! {
+    /// Reusable local task pool for [`run_mark1_shared`]: drained empty
+    /// by the end of every handler invocation, so the buffer (and its
+    /// grown capacity) is reused across messages and passes.
+    static WORK: RefCell<Vec<MarkMsg>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Runs one `mark1` pass over an already-shared graph whose R slots are
-/// reset, returning the number of cross-PE marking messages. This is the
-/// timed core of the T5 scalability experiment — the store↔shared
-/// conversions of [`run_mark1_threaded`] are serial setup, not marking.
+/// reset, returning the pass's message counters. This is the timed core
+/// of the T5 scalability experiment — the store↔shared conversions of
+/// [`run_mark1_threaded`] are serial setup, not marking.
 ///
 /// # Panics
 ///
 /// Panics if the graph has no root or quiescence is reached without the
 /// algorithm signalling `done`.
-pub fn run_mark1_shared(shared: &SharedGraph, num_pes: u16, strategy: PartitionStrategy) -> u64 {
+pub fn run_mark1_shared(
+    shared: &SharedGraph,
+    num_pes: u16,
+    strategy: PartitionStrategy,
+) -> ThreadedMarkStats {
     let root = shared.root().expect("marking needs a root");
     let partition = PartitionMap::new(num_pes, shared.capacity(), strategy);
     let done = AtomicBool::new(false);
+    let messages = AtomicU64::new(0);
+    // The pass's epoch is fixed before threads spawn (spawning publishes
+    // it); every slot access below is normalized against it.
+    let epoch = shared.mark_epoch(Slot::R);
 
-    let handled = ThreadedRuntime::new(num_pes).run(
+    let envelopes = ThreadedRuntime::new(num_pes).run(
         vec![route(
             &partition,
             MarkMsg::Mark1 {
@@ -78,27 +119,64 @@ pub fn run_mark1_shared(shared: &SharedGraph, num_pes: u16, strategy: PartitionS
         |ctx, msg: MarkMsg| {
             // A PE drains its own task pool locally; only marking tasks
             // addressed to another PE's partition become messages. Each
-            // task still locks exactly one vertex for bounded work.
-            let mut work = vec![msg];
-            let emit = |work: &mut Vec<MarkMsg>, m: MarkMsg| {
-                let env = route(&partition, m);
-                if env.dst == ctx.me() {
-                    work.push(m);
-                } else {
-                    ctx.send(env);
-                }
-            };
-            while let Some(m) = work.pop() {
-                match m {
-                    MarkMsg::Mark1 { v, par } => {
-                        let mut guard = shared.lock(v);
-                        if guard.mr.is_unmarked() && !guard.is_free() {
-                            guard.mr.color = Color::Transient;
-                            guard.mr.mt_par = Some(par);
-                            let children: Vec<VertexId> = guard.r_children();
-                            guard.mr.mt_cnt += children.len() as u32;
-                            if children.is_empty() {
-                                guard.mr.color = Color::Marked;
+            // task still locks at most one vertex for bounded work.
+            WORK.with(|work| {
+                let mut work = work.borrow_mut();
+                work.push(msg);
+                let mut executed = 0u64;
+                let emit = |work: &mut Vec<MarkMsg>, m: MarkMsg| {
+                    let env = route(&partition, m);
+                    if env.dst == ctx.me() {
+                        work.push(m);
+                    } else {
+                        ctx.send(env);
+                    }
+                };
+                while let Some(m) = work.pop() {
+                    executed += 1;
+                    match m {
+                        MarkMsg::Mark1 { v, par } => {
+                            // Lock-free fast path: a current-epoch color
+                            // other than Unmarked means this mark1 would
+                            // return immediately — no lock needed.
+                            let probed = shared.r_probe(v, epoch);
+                            if probed.is_some_and(|c| c != Color::Unmarked) {
+                                emit(
+                                    &mut work,
+                                    MarkMsg::Return {
+                                        slot: Slot::R,
+                                        to: par,
+                                    },
+                                );
+                                continue;
+                            }
+                            let mut guard = shared.lock(v);
+                            if guard.is_free() || !guard.mark_at(Slot::R, epoch).is_unmarked() {
+                                drop(guard);
+                                emit(
+                                    &mut work,
+                                    MarkMsg::Return {
+                                        slot: Slot::R,
+                                        to: par,
+                                    },
+                                );
+                                continue;
+                            }
+                            let mut n_children = 0u32;
+                            guard.for_each_r_child(|_| n_children += 1);
+                            let s = guard.mark_at_mut(Slot::R, epoch);
+                            s.mt_par = Some(par);
+                            s.mt_cnt += n_children;
+                            let color = if n_children == 0 {
+                                Color::Marked
+                            } else {
+                                Color::Transient
+                            };
+                            s.color = color;
+                            // Publish while holding the lock: the Release
+                            // store is the transition's last vertex write.
+                            shared.publish_r(v, epoch, color);
+                            if n_children == 0 {
                                 drop(guard);
                                 emit(
                                     &mut work,
@@ -108,8 +186,10 @@ pub fn run_mark1_shared(shared: &SharedGraph, num_pes: u16, strategy: PartitionS
                                     },
                                 );
                             } else {
-                                drop(guard);
-                                for c in children {
+                                // Emitting under the lock is safe — no
+                                // other lock is taken — and avoids
+                                // materializing the child list.
+                                guard.for_each_r_child(|c| {
                                     emit(
                                         &mut work,
                                         MarkMsg::Mark1 {
@@ -117,55 +197,55 @@ pub fn run_mark1_shared(shared: &SharedGraph, num_pes: u16, strategy: PartitionS
                                             par: MarkParent::Vertex(v),
                                         },
                                     );
+                                });
+                                drop(guard);
+                            }
+                        }
+                        MarkMsg::Return { to, .. } => match to {
+                            MarkParent::RootPar => {
+                                // Relaxed: asserted only after the runtime
+                                // joins its workers, which synchronizes.
+                                done.store(true, Ordering::Relaxed);
+                            }
+                            MarkParent::TaskRootPar => {
+                                unreachable!("mark1 never uses the task root")
+                            }
+                            MarkParent::Vertex(v) => {
+                                let mut guard = shared.lock(v);
+                                let s = guard.mark_at_mut(Slot::R, epoch);
+                                debug_assert!(s.mt_cnt > 0);
+                                s.mt_cnt -= 1;
+                                if s.mt_cnt == 0 {
+                                    s.color = Color::Marked;
+                                    let par = s.mt_par.expect("completing vertex has a parent");
+                                    shared.publish_r(v, epoch, Color::Marked);
+                                    drop(guard);
+                                    emit(
+                                        &mut work,
+                                        MarkMsg::Return {
+                                            slot: Slot::R,
+                                            to: par,
+                                        },
+                                    );
                                 }
                             }
-                        } else {
-                            drop(guard);
-                            emit(
-                                &mut work,
-                                MarkMsg::Return {
-                                    slot: Slot::R,
-                                    to: par,
-                                },
-                            );
-                        }
+                        },
+                        other => unreachable!("threaded mark1 pass received {other:?}"),
                     }
-                    MarkMsg::Return { to, .. } => match to {
-                        MarkParent::RootPar => {
-                            done.store(true, Ordering::SeqCst);
-                        }
-                        MarkParent::TaskRootPar => {
-                            unreachable!("mark1 never uses the task root")
-                        }
-                        MarkParent::Vertex(v) => {
-                            let mut guard = shared.lock(v);
-                            debug_assert!(guard.mr.mt_cnt > 0);
-                            guard.mr.mt_cnt -= 1;
-                            if guard.mr.mt_cnt == 0 {
-                                guard.mr.color = Color::Marked;
-                                let par =
-                                    guard.mr.mt_par.expect("completing vertex has a parent");
-                                drop(guard);
-                                emit(
-                                    &mut work,
-                                    MarkMsg::Return {
-                                        slot: Slot::R,
-                                        to: par,
-                                    },
-                                );
-                            }
-                        }
-                    },
-                    other => unreachable!("threaded mark1 pass received {other:?}"),
                 }
-            }
+                // Relaxed: read once after the runtime joins.
+                messages.fetch_add(executed, Ordering::Relaxed);
+            });
         },
     );
     assert!(
-        done.load(Ordering::SeqCst),
+        done.load(Ordering::Relaxed),
         "quiescent without termination signal"
     );
-    handled
+    ThreadedMarkStats {
+        messages: messages.load(Ordering::Relaxed),
+        envelopes,
+    }
 }
 
 #[cfg(test)]
@@ -204,10 +284,10 @@ mod tests {
             for v in marked.live_ids() {
                 assert_eq!(
                     r.contains(v),
-                    marked.vertex(v).mr.is_marked(),
+                    marked.mark(v, Slot::R).is_marked(),
                     "{pes} PEs, vertex {v}"
                 );
-                assert_eq!(marked.vertex(v).mr.mt_cnt, 0);
+                assert_eq!(marked.mark(v, Slot::R).mt_cnt, 0);
             }
         }
     }
@@ -227,7 +307,7 @@ mod tests {
         g.set_root(ids[0]);
         let (marked, _) = run_mark1_threaded(g, 4, PartitionStrategy::Block);
         for &v in &ids {
-            assert!(marked.vertex(v).mr.is_marked());
+            assert!(marked.mark(v, Slot::R).is_marked());
         }
     }
 
@@ -239,10 +319,45 @@ mod tests {
         let (g_thr, _) = run_mark1_threaded(g, 4, PartitionStrategy::Modulo);
         for v in g_sim.ids() {
             assert_eq!(
-                g_sim.vertex(v).mr.is_marked(),
-                g_thr.vertex(v).mr.is_marked(),
+                g_sim.mark(v, Slot::R).is_marked(),
+                g_thr.mark(v, Slot::R).is_marked(),
                 "differential mismatch at {v}"
             );
         }
+    }
+
+    #[test]
+    fn threaded_message_count_matches_simulator_events() {
+        // mark1 sends one mark per first visit or revisit and exactly one
+        // return per mark, so the task count is schedule-independent:
+        // the threaded pass must execute exactly as many tasks as the
+        // deterministic simulator delivers events.
+        let g = tree(7, 5);
+        let mut g_sim = g.clone();
+        let sim_stats =
+            crate::driver::run_mark1(&mut g_sim, &crate::driver::MarkRunConfig::default());
+        for pes in [1u16, 3, 8] {
+            let (_, messages) = run_mark1_threaded(g.clone(), pes, PartitionStrategy::Modulo);
+            assert_eq!(messages, sim_stats.events, "{pes} PEs");
+        }
+    }
+
+    #[test]
+    fn repeated_shared_passes_with_epoch_reset() {
+        // Re-running after reset_shared_r must redo the full pass (same
+        // message count), not see stale marks from the previous epoch.
+        let shared = SharedGraph::from_store({
+            let mut g = tree(5, 3);
+            crate::driver::reset_slot(&mut g, Slot::R);
+            g
+        });
+        let first = run_mark1_shared(&shared, 4, PartitionStrategy::Modulo);
+        for _ in 0..3 {
+            reset_shared_r(&shared);
+            let again = run_mark1_shared(&shared, 4, PartitionStrategy::Modulo);
+            assert_eq!(again.messages, first.messages);
+        }
+        let back = shared.into_store();
+        assert!(back.mark(back.root().unwrap(), Slot::R).is_marked());
     }
 }

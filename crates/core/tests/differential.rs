@@ -44,7 +44,7 @@ fn random_graph(n: usize, degree: f64, seed: u64, free_some: bool) -> GraphStore
 
 fn mark_set(g: &GraphStore) -> Vec<bool> {
     g.ids()
-        .map(|v| !g.is_free(v) && g.vertex(v).slot(Slot::R).is_marked())
+        .map(|v| !g.is_free(v) && g.mark(v, Slot::R).is_marked())
         .collect()
 }
 
@@ -80,6 +80,29 @@ fn four_implementations_agree_with_each_other_and_the_oracle() {
             let mut comp = base.clone();
             run_mark1_compressed(&mut comp, pes, PartitionStrategy::Modulo);
             assert_eq!(mark_set(&comp), want, "compressed, seed {seed}, {pes} PEs");
+        }
+    }
+}
+
+#[test]
+fn threaded_batching_preserves_mark_set_and_message_count() {
+    // The batched threaded runtime must be observationally identical to
+    // the deterministic simulator on random cyclic graphs with sharing:
+    // same mark set, and — because mark1's task count (one return per
+    // mark, one spawn per first visit) is schedule-independent — exactly
+    // as many messages handled as the simulator delivers events.
+    for seed in 100..110 {
+        let base = random_graph(600, 3.0, seed, seed % 3 == 0);
+        let mut sim = base.clone();
+        let sim_stats = run_mark1(&mut sim, &MarkRunConfig::default());
+        let want = mark_set(&sim);
+        for pes in [1u16, 2, 7] {
+            let (thr, messages) = run_mark1_threaded(base.clone(), pes, PartitionStrategy::Modulo);
+            assert_eq!(mark_set(&thr), want, "mark set, seed {seed}, {pes} PEs");
+            assert_eq!(
+                messages, sim_stats.events,
+                "message count, seed {seed}, {pes} PEs"
+            );
         }
     }
 }

@@ -84,7 +84,7 @@ fn stress(mode: RMode, seed: u64, mutation_period: u64) {
             sim.send(route(&partition, m));
         }
         events += 1;
-        if mutation_period > 0 && events % mutation_period == 0 {
+        if mutation_period > 0 && events.is_multiple_of(mutation_period) {
             let mut coop_buf = Vec::new();
             random_move(&mut rng, &mut state, &mut g, &mut |m| coop_buf.push(m));
             for m in coop_buf {
@@ -102,7 +102,7 @@ fn stress(mode: RMode, seed: u64, mutation_period: u64) {
     // (moves preserve R).
     let reach = dgr_graph::oracle::reachable_r(&g);
     for v in g.live_ids() {
-        assert_eq!(reach.contains(v), g.vertex(v).mr.is_marked(), "{v}");
+        assert_eq!(reach.contains(v), g.mark(v, Slot::R).is_marked(), "{v}");
     }
 }
 

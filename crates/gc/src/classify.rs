@@ -8,27 +8,28 @@ use serde::{Deserialize, Serialize};
 /// via Theorem 1). Valid after an `M_R` pass completes.
 pub fn garbage_vertices(g: &GraphStore) -> VertexSet {
     g.live_ids()
-        .filter(|&v| !g.vertex(v).slot(Slot::R).is_marked())
+        .filter(|&v| !g.mark(v, Slot::R).is_marked())
         .collect()
 }
 
 /// `DL'_v = R'_v − T'` (Property 2', via Theorem 2), refined twice:
 /// only vertices that have not yet computed a value (a valued vertex has
 /// nothing left to deadlock on), and only vertices with **no task
-/// activity since the `M_T` pass began** ([`Vertex::touched`] unset) — a
-/// vertex deadlocked before the pass by definition sees no activity
-/// afterwards, while a vertex that became task-reachable *during* the
-/// pass (say, a freshly expanded subgraph) is screened out rather than
-/// falsely reported. Valid after an `M_T`-then-`M_R` cycle completes.
+/// activity since the `M_T` pass began** ([`GraphStore::is_touched`]
+/// false) — a vertex deadlocked before the pass by definition sees no
+/// activity afterwards, while a vertex that became task-reachable
+/// *during* the pass (say, a freshly expanded subgraph) is screened out
+/// rather than falsely reported. Valid after an `M_T`-then-`M_R` cycle
+/// completes.
 pub fn deadlocked_vertices(g: &GraphStore) -> Vec<VertexId> {
     g.live_ids()
         .filter(|&v| {
-            let vert = g.vertex(v);
-            vert.mr.is_marked()
-                && vert.mr.prior == Priority::Vital
-                && !vert.mt.is_marked()
-                && !vert.touched
-                && vert.value.is_none()
+            let mr = g.mark(v, Slot::R);
+            mr.is_marked()
+                && mr.prior == Priority::Vital
+                && !g.mark(v, Slot::T).is_marked()
+                && !g.is_touched(v)
+                && g.vertex(v).value.is_none()
         })
         .collect()
 }
@@ -39,7 +40,7 @@ pub fn classify_task_by_marks(g: &GraphStore, dst: VertexId) -> TaskClass {
     if g.is_free(dst) {
         return TaskClass::Dangling;
     }
-    let slot = g.vertex(dst).slot(Slot::R);
+    let slot = g.mark(dst, Slot::R);
     if slot.is_marked() {
         match slot.prior {
             Priority::Vital => TaskClass::Vital,
@@ -121,9 +122,11 @@ mod tests {
         let x = g.alloc(NodeLabel::Prim(PrimOp::Add)).unwrap();
         let one = g.alloc(NodeLabel::lit_int(1)).unwrap();
         g.connect(x, x);
-        g.vertex_mut(x).set_request_kind(0, Some(RequestKind::Vital));
+        g.vertex_mut(x)
+            .set_request_kind(0, Some(RequestKind::Vital));
         g.connect(x, one);
-        g.vertex_mut(x).set_request_kind(1, Some(RequestKind::Vital));
+        g.vertex_mut(x)
+            .set_request_kind(1, Some(RequestKind::Vital));
         g.vertex_mut(one).value = Some(dgr_graph::Value::Int(1));
         g.set_root(x);
 

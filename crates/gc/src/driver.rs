@@ -1,9 +1,7 @@
 //! The endless mark-and-restructure cycle, interleaved with reduction.
 
 use dgr_core::{MarkMsg, RMode};
-use dgr_graph::{
-    MarkParent, Priority, Requester, Slot, Value, VertexSet,
-};
+use dgr_graph::{MarkParent, Priority, Requester, Slot, Value, VertexSet};
 use dgr_reduction::{RedMsg, RunOutcome, System};
 use dgr_sim::Lane;
 
@@ -157,7 +155,7 @@ impl GcDriver {
             cycle: self.cycle,
             ..Default::default()
         };
-        let run_mt = self.cfg.mt_every > 0 && (self.cycle - 1) % self.cfg.mt_every == 0;
+        let run_mt = self.cfg.mt_every > 0 && (self.cycle - 1).is_multiple_of(self.cfg.mt_every);
         report.ran_mt = run_mt;
         // Both marking processes stay *in force* (mutator cooperation
         // active) until restructuring completes: a vertex allocated and
@@ -251,16 +249,11 @@ impl GcDriver {
 
     fn phase_t(&mut self, report: &mut CycleReport) {
         dgr_core::driver::reset_slot(&mut self.sys.graph, Slot::T);
-        // Clear the activity stamps: `touched` now means "task activity
+        // Clear the activity stamps: "touched" now means "task activity
         // at or after t_a", which the deadlock report consults.
-        let ids: Vec<_> = self.sys.graph.ids().collect();
-        for v in ids {
-            self.sys.graph.vertex_mut(v).touched = false;
-        }
+        self.sys.graph.clear_touched();
         let seeds = self.sys.pending_task_endpoints();
-        self.sys
-            .mark_state
-            .begin_t(seeds.seeds().len() as u32);
+        self.sys.mark_state.begin_t(seeds.seeds().len() as u32);
         for &v in seeds.seeds() {
             self.sys.send_mark(MarkMsg::Mark3 {
                 v,
@@ -300,7 +293,7 @@ impl GcDriver {
             .sys
             .graph
             .live_ids()
-            .filter(|&v| self.sys.graph.vertex(v).mt.is_marked())
+            .filter(|&v| self.sys.graph.mark(v, Slot::T).is_marked())
             .count();
     }
 
@@ -318,7 +311,7 @@ impl GcDriver {
             .sys
             .graph
             .live_ids()
-            .filter(|&v| self.sys.graph.vertex(v).mr.is_marked())
+            .filter(|&v| self.sys.graph.mark(v, Slot::R).is_marked())
             .count();
     }
 
@@ -379,9 +372,9 @@ impl GcDriver {
                 .graph
                 .ids()
                 .map(|v| {
-                    let vert = self.sys.graph.vertex(v);
-                    let s = vert.slot(Slot::R);
-                    s.is_marked().then(|| s.prior.max(vert.demand))
+                    let s = self.sys.graph.mark(v, Slot::R);
+                    s.is_marked()
+                        .then(|| s.prior.max(self.sys.graph.vertex(v).demand))
                 })
                 .collect();
             let live: Vec<_> = self.sys.graph.live_ids().collect();
@@ -531,11 +524,7 @@ mod tests {
                     ..Default::default()
                 },
             );
-            assert_eq!(
-                gc.run(),
-                RunOutcome::Value(Value::Int(120)),
-                "seed {seed}"
-            );
+            assert_eq!(gc.run(), RunOutcome::Value(Value::Int(120)), "seed {seed}");
             assert_eq!(gc.sys.stats.dangling_requests, 0, "seed {seed}");
         }
     }
@@ -659,11 +648,7 @@ mod tests {
         );
         gc.run();
         let report = gc.run_cycle();
-        assert!(
-            report.census.irrelevant > 0,
-            "census: {:?}",
-            report.census
-        );
+        assert!(report.census.irrelevant > 0, "census: {:?}", report.census);
     }
 
     #[test]

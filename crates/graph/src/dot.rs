@@ -52,7 +52,8 @@ fn esc(s: &str) -> String {
 /// assert!(src.contains("v1 -> v0"));
 /// ```
 pub fn to_dot(g: &GraphStore, opts: &DotOptions) -> String {
-    let mut out = String::from("digraph computation {\n  rankdir=TB;\n  node [shape=circle fontsize=10];\n");
+    let mut out =
+        String::from("digraph computation {\n  rankdir=TB;\n  node [shape=circle fontsize=10];\n");
     let mut emitted = 0usize;
     for id in g.ids() {
         if g.is_free(id) && !opts.include_free {
@@ -69,7 +70,7 @@ pub fn to_dot(g: &GraphStore, opts: &DotOptions) -> String {
             let _ = write!(label, "\\n= {}", esc(&val.to_string()));
         }
         let fill = match opts.marks {
-            Some(slot) => match v.slot(slot).color {
+            Some(slot) => match g.mark(id, slot).color {
                 Color::Unmarked => "white",
                 Color::Transient => "lightgray",
                 Color::Marked => "palegreen",
@@ -103,11 +104,12 @@ pub fn to_dot(g: &GraphStore, opts: &DotOptions) -> String {
 /// Convenience: DOT for the subgraph reachable from the root only.
 pub fn to_dot_reachable(g: &GraphStore, opts: &DotOptions) -> String {
     let reach = crate::oracle::reachable_r(g);
-    let mut out = String::from("digraph computation {\n  rankdir=TB;\n  node [shape=circle fontsize=10];\n");
+    let mut out =
+        String::from("digraph computation {\n  rankdir=TB;\n  node [shape=circle fontsize=10];\n");
     for id in g.ids().filter(|&v| reach.contains(v)) {
         let v = g.vertex(id);
         let fill = match opts.marks {
-            Some(slot) => match v.slot(slot).color {
+            Some(slot) => match g.mark(id, slot).color {
                 Color::Unmarked => "white",
                 Color::Transient => "lightgray",
                 Color::Marked => "palegreen",
@@ -210,7 +212,7 @@ mod tests {
     #[test]
     fn marking_colors_reflected() {
         let (mut g, add, _) = sample();
-        g.vertex_mut(add).mr.color = Color::Marked;
+        g.mark_mut(add, Slot::R).color = Color::Marked;
         let dot = to_dot(&g, &DotOptions::default());
         assert!(dot.contains("palegreen"));
     }

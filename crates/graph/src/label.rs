@@ -96,7 +96,7 @@ impl fmt::Display for PrimOp {
 /// Labels drive the reduction process; the marking processes in `dgr-core`
 /// never inspect them (marking is purely a matter of graph connectivity,
 /// which is the paper's central observation).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum NodeLabel {
     /// An already-computed literal value.
     Lit(Value),
@@ -117,6 +117,7 @@ pub enum NodeLabel {
     /// reduction overwrites a vertex with a reference to its result.
     Ind,
     /// An uninitialized vertex on the free list.
+    #[default]
     Hole,
 }
 
@@ -153,12 +154,6 @@ impl fmt::Display for NodeLabel {
             NodeLabel::Ind => f.write_str("ind"),
             NodeLabel::Hole => f.write_str("hole"),
         }
-    }
-}
-
-impl Default for NodeLabel {
-    fn default() -> Self {
-        NodeLabel::Hole
     }
 }
 

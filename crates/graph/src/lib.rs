@@ -66,7 +66,7 @@ pub use error::GraphError;
 pub use ids::{PeId, VertexId};
 pub use label::{NodeLabel, PrimOp};
 pub use oracle::{Oracle, TaskClass, TaskEndpoints, VertexSet};
-pub use store::{GraphStore, PartitionMap, PartitionStrategy};
+pub use store::{Epochs, GraphStore, PartitionMap, PartitionStrategy};
 pub use template::{Template, TemplateNode, TemplateRef};
 pub use value::Value;
 pub use vertex::{Color, MarkParent, MarkSlot, Priority, RequestKind, Requester, Slot, Vertex};

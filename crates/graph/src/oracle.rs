@@ -211,10 +211,11 @@ pub fn reachable_r(g: &GraphStore) -> VertexSet {
 /// (vital or eager) arcs are `Eager`; the remaining reachable vertices are
 /// `Reserve`.
 pub fn priorities(g: &GraphStore) -> Vec<Option<Priority>> {
+    type Admit = fn(Option<RequestKind>) -> bool;
     let mut prior: Vec<Option<Priority>> = vec![None; g.capacity()];
     let Some(root) = g.root() else { return prior };
 
-    let passes: [(Priority, fn(Option<RequestKind>) -> bool); 3] = [
+    let passes: [(Priority, Admit); 3] = [
         (Priority::Vital, |k| k == Some(RequestKind::Vital)),
         (Priority::Eager, |k| k.is_some()),
         (Priority::Reserve, |_| true),
@@ -231,11 +232,12 @@ pub fn priorities(g: &GraphStore) -> Vec<Option<Priority>> {
             .collect();
         while let Some(v) = stack.pop() {
             for (c, kind) in g.vertex(v).r_children_kinds() {
-                if admit(kind) && prior[c.index()].map_or(true, |p| p < level) {
-                    if prior[c.index()] != Some(level) {
-                        prior[c.index()] = Some(level);
-                        stack.push(c);
-                    }
+                if admit(kind)
+                    && prior[c.index()].is_none_or(|p| p < level)
+                    && prior[c.index()] != Some(level)
+                {
+                    prior[c.index()] = Some(level);
+                    stack.push(c);
                 }
             }
         }
@@ -434,9 +436,11 @@ mod tests {
         g.vertex_mut(root)
             .set_request_kind(0, Some(RequestKind::Vital));
         g.connect(a, b);
-        g.vertex_mut(a).set_request_kind(0, Some(RequestKind::Eager));
+        g.vertex_mut(a)
+            .set_request_kind(0, Some(RequestKind::Eager));
         g.connect(b, c);
-        g.vertex_mut(b).set_request_kind(0, Some(RequestKind::Vital));
+        g.vertex_mut(b)
+            .set_request_kind(0, Some(RequestKind::Vital));
         g.set_root(root);
 
         let p = priorities(&g);
@@ -461,7 +465,8 @@ mod tests {
         g.vertex_mut(root)
             .set_request_kind(1, Some(RequestKind::Vital));
         g.connect(e, d);
-        g.vertex_mut(e).set_request_kind(0, Some(RequestKind::Vital));
+        g.vertex_mut(e)
+            .set_request_kind(0, Some(RequestKind::Vital));
         g.set_root(root);
 
         let p = priorities(&g);
@@ -487,10 +492,12 @@ mod tests {
         let c = g.alloc(NodeLabel::lit_int(2)).unwrap();
         let d = g.alloc(NodeLabel::lit_int(3)).unwrap();
         g.connect(a, b);
-        g.vertex_mut(a).set_request_kind(0, Some(RequestKind::Vital));
+        g.vertex_mut(a)
+            .set_request_kind(0, Some(RequestKind::Vital));
         g.connect(a, c); // unrequested
         g.connect(a, d);
-        g.vertex_mut(a).set_request_kind(2, Some(RequestKind::Vital));
+        g.vertex_mut(a)
+            .set_request_kind(2, Some(RequestKind::Vital));
         g.vertex_mut(b).add_requester(Requester::Vertex(a));
 
         let mut tasks = TaskEndpoints::new();
@@ -519,9 +526,11 @@ mod tests {
         let x = g.alloc(NodeLabel::Prim(PrimOp::Add)).unwrap();
         let one = g.alloc(NodeLabel::lit_int(1)).unwrap();
         g.connect(x, x);
-        g.vertex_mut(x).set_request_kind(0, Some(RequestKind::Vital));
+        g.vertex_mut(x)
+            .set_request_kind(0, Some(RequestKind::Vital));
         g.connect(x, one);
-        g.vertex_mut(x).set_request_kind(1, Some(RequestKind::Vital));
+        g.vertex_mut(x)
+            .set_request_kind(1, Some(RequestKind::Vital));
         g.set_root(x);
         let o = Oracle::compute(&g, &TaskEndpoints::new());
         assert!(o.deadlocked.contains(x));

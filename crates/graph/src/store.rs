@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::GraphError;
 use crate::ids::{PeId, VertexId};
 use crate::label::NodeLabel;
-use crate::vertex::{Requester, Vertex};
+use crate::vertex::{MarkSlot, Requester, Slot, Vertex};
 
 /// How vertices are assigned to processing elements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -74,8 +74,30 @@ impl PartitionMap {
     }
 }
 
+/// The store-wide epoch counters that implement O(1) lazy resets: one
+/// marking epoch per [`Slot`] and one touch epoch for the task-activity
+/// stamps. Epochs start at 1 so the all-zero state of a fresh vertex is
+/// always stale (= reads as reset / untouched).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Epochs {
+    /// Current marking cycle per slot, indexed by [`Slot::index`].
+    pub mark: [u32; 2],
+    /// Current touch epoch.
+    pub touch: u32,
+}
+
+impl Default for Epochs {
+    fn default() -> Self {
+        Epochs {
+            mark: [1, 1],
+            touch: 1,
+        }
+    }
+}
+
 /// The computation-graph store: all vertices (the finite universe `V`), the
-/// free list `F`, and the distinguished root.
+/// free list `F`, the distinguished root, and the epoch counters that make
+/// between-cycle resets O(1).
 ///
 /// The store itself is runtime-agnostic data; the deterministic simulator
 /// holds one directly, and the threaded runtime shards it behind per-vertex
@@ -100,6 +122,7 @@ pub struct GraphStore {
     verts: Vec<Vertex>,
     free: Vec<VertexId>,
     root: Option<VertexId>,
+    epochs: Epochs,
 }
 
 impl GraphStore {
@@ -120,6 +143,7 @@ impl GraphStore {
             verts,
             free,
             root: None,
+            epochs: Epochs::default(),
         }
     }
 
@@ -216,6 +240,62 @@ impl GraphStore {
             .ok_or(GraphError::InvalidVertex(id))
     }
 
+    // ------------------------------------------------------------------
+    // Epoch-based marking state. Starting a cycle is a single counter
+    // bump; per-vertex slots are reset lazily on first access, so the
+    // O(|V|) between-pass sweep the paper's `reset` step implies is gone.
+    // ------------------------------------------------------------------
+
+    /// The current marking epoch of a slot.
+    pub fn mark_epoch(&self, slot: Slot) -> u32 {
+        self.epochs.mark[slot.index()]
+    }
+
+    /// Begins a new marking cycle for `slot`: every vertex's slot now
+    /// reads as freshly reset. O(1).
+    pub fn begin_mark_cycle(&mut self, slot: Slot) {
+        self.epochs.mark[slot.index()] = self.epochs.mark[slot.index()].wrapping_add(1);
+    }
+
+    /// The epoch-normalized marking state of vertex `v` in `slot`: the
+    /// stored slot if it belongs to the current cycle, a reset slot
+    /// otherwise. This is the canonical way to *read* marks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn mark(&self, v: VertexId, slot: Slot) -> MarkSlot {
+        self.verts[v.index()].mark_at(slot, self.epochs.mark[slot.index()])
+    }
+
+    /// Mutable current-cycle marking state of vertex `v` in `slot`,
+    /// lazily resetting a stale slot first. This is the canonical way to
+    /// *write* marks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn mark_mut(&mut self, v: VertexId, slot: Slot) -> &mut MarkSlot {
+        self.verts[v.index()].mark_at_mut(slot, self.epochs.mark[slot.index()])
+    }
+
+    /// Records task activity at `v` (the deadlock report's activity
+    /// screen).
+    pub fn touch(&mut self, v: VertexId) {
+        self.verts[v.index()].touched_at = self.epochs.touch;
+    }
+
+    /// Whether `v` has seen task activity since the last
+    /// [`GraphStore::clear_touched`].
+    pub fn is_touched(&self, v: VertexId) -> bool {
+        self.verts[v.index()].touched_at == self.epochs.touch
+    }
+
+    /// Clears every vertex's activity stamp. O(1) (epoch bump).
+    pub fn clear_touched(&mut self) {
+        self.epochs.touch = self.epochs.touch.wrapping_add(1);
+    }
+
     /// The distinguished root vertex, if set.
     pub fn root(&self) -> Option<VertexId> {
         self.root
@@ -285,11 +365,11 @@ impl GraphStore {
         self.verts[b.index()].remove_requester(a)
     }
 
-    /// Decomposes the store into its vertices, free list and root, for
-    /// conversion into a shared (per-vertex-locked) representation by a
-    /// parallel runtime.
-    pub fn into_parts(self) -> (Vec<Vertex>, Vec<VertexId>, Option<VertexId>) {
-        (self.verts, self.free, self.root)
+    /// Decomposes the store into its vertices, free list, root and epoch
+    /// counters, for conversion into a shared (per-vertex-locked)
+    /// representation by a parallel runtime.
+    pub fn into_parts(self) -> (Vec<Vertex>, Vec<VertexId>, Option<VertexId>, Epochs) {
+        (self.verts, self.free, self.root, self.epochs)
     }
 
     /// Rebuilds a store from parts produced by [`GraphStore::into_parts`]
@@ -299,6 +379,7 @@ impl GraphStore {
         mut verts: Vec<Vertex>,
         free: Vec<VertexId>,
         root: Option<VertexId>,
+        epochs: Epochs,
     ) -> Self {
         for v in verts.iter_mut() {
             v.in_free_list = false;
@@ -306,7 +387,12 @@ impl GraphStore {
         for &id in &free {
             verts[id.index()].in_free_list = true;
         }
-        GraphStore { verts, free, root }
+        GraphStore {
+            verts,
+            free,
+            root,
+            epochs,
+        }
     }
 
     /// Verifies store-wide structural invariants (for tests): parallel
@@ -447,9 +533,60 @@ mod tests {
         let a = g.alloc(NodeLabel::Prim(PrimOp::Add)).unwrap();
         let b = g.alloc(NodeLabel::lit_int(1)).unwrap();
         g.connect(a, b);
-        g.vertex_mut(a).set_request_kind(0, Some(RequestKind::Vital));
+        g.vertex_mut(a)
+            .set_request_kind(0, Some(RequestKind::Vital));
         g.set_root(a);
         assert!(g.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn begin_mark_cycle_resets_all_marks_in_o1() {
+        use crate::vertex::Color;
+        let mut g = GraphStore::with_capacity(3);
+        let a = g.alloc(NodeLabel::Hole).unwrap();
+        let b = g.alloc(NodeLabel::Hole).unwrap();
+        g.mark_mut(a, Slot::R).color = Color::Marked;
+        g.mark_mut(b, Slot::R).mt_cnt = 5;
+        g.mark_mut(b, Slot::T).color = Color::Transient;
+        g.begin_mark_cycle(Slot::R);
+        assert!(g.mark(a, Slot::R).is_unmarked());
+        assert_eq!(g.mark(b, Slot::R).mt_cnt, 0);
+        // The T slot has its own epoch and is untouched by R's reset.
+        assert_eq!(g.mark(b, Slot::T).color, Color::Transient);
+        // Writing after the reset stamps the new epoch.
+        g.mark_mut(a, Slot::R).color = Color::Transient;
+        assert_eq!(g.mark(a, Slot::R).color, Color::Transient);
+    }
+
+    #[test]
+    fn touch_epoch_clears_in_o1() {
+        let mut g = GraphStore::with_capacity(2);
+        let a = g.alloc(NodeLabel::Hole).unwrap();
+        let b = g.alloc(NodeLabel::Hole).unwrap();
+        assert!(!g.is_touched(a));
+        g.touch(a);
+        assert!(g.is_touched(a));
+        assert!(!g.is_touched(b));
+        g.clear_touched();
+        assert!(!g.is_touched(a));
+        g.touch(b);
+        assert!(g.is_touched(b));
+    }
+
+    #[test]
+    fn parts_roundtrip_preserves_epochs() {
+        use crate::vertex::Color;
+        let mut g = GraphStore::with_capacity(2);
+        let a = g.alloc(NodeLabel::Hole).unwrap();
+        g.mark_mut(a, Slot::R).color = Color::Marked;
+        g.begin_mark_cycle(Slot::R);
+        g.begin_mark_cycle(Slot::R);
+        let epoch = g.mark_epoch(Slot::R);
+        let (verts, free, root, epochs) = g.into_parts();
+        let g2 = GraphStore::from_parts(verts, free, root, epochs);
+        assert_eq!(g2.mark_epoch(Slot::R), epoch);
+        // The stale pre-reset mark stays invisible after the roundtrip.
+        assert!(g2.mark(a, Slot::R).is_unmarked());
     }
 
     #[test]

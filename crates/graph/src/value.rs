@@ -81,6 +81,23 @@ impl Value {
             _ => Vec::new(),
         }
     }
+
+    /// Visits the vertices [`Value::referenced_vertices`] returns, in the
+    /// same order, without allocating.
+    pub fn for_each_referenced(&self, mut f: impl FnMut(VertexId)) {
+        match self {
+            Value::Cons(h, t) => {
+                f(*h);
+                f(*t);
+            }
+            Value::Fn(_, caps) => {
+                for &c in caps {
+                    f(c);
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 impl fmt::Display for Value {

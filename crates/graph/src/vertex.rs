@@ -132,7 +132,15 @@ impl MarkParent {
 /// Each vertex carries **two** independent slots ([`Slot::R`] and
 /// [`Slot::T`]) because the paper requires the bits used by `M_T` to be
 /// distinct from those used by `M_R`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+///
+/// Slots are reset **lazily** via epochs: a store-wide per-slot epoch is
+/// bumped to start a marking cycle (O(1) instead of an O(|V|) sweep), and a
+/// slot whose [`MarkSlot::epoch`] differs from the current cycle's epoch
+/// reads as freshly reset. The predicates below interpret the raw fields
+/// and are only meaningful on a slot known to belong to the current cycle;
+/// use [`Vertex::mark_at`] / [`crate::GraphStore::mark`] for the
+/// epoch-normalized view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct MarkSlot {
     /// Marking color.
     pub color: Color,
@@ -142,12 +150,23 @@ pub struct MarkSlot {
     pub mt_par: Option<MarkParent>,
     /// Priority this vertex was traced with (only meaningful for `M_R`).
     pub prior: Priority,
+    /// The marking cycle this slot's contents belong to. `0` is never a
+    /// live epoch (store epochs start at 1), so default slots are stale.
+    pub epoch: u32,
 }
 
 impl MarkSlot {
     /// Resets the slot to its pre-marking state.
     pub fn reset(&mut self) {
         *self = MarkSlot::default();
+    }
+
+    /// A freshly reset slot stamped with the given epoch.
+    pub fn fresh(epoch: u32) -> Self {
+        MarkSlot {
+            epoch,
+            ..MarkSlot::default()
+        }
     }
 
     /// `unmarked(v)` from the paper.
@@ -173,6 +192,16 @@ pub enum Slot {
     R,
     /// The slot used by `M_T` (marking from tasks).
     T,
+}
+
+impl Slot {
+    /// Dense index (`R` = 0, `T` = 1), used to key per-slot epoch arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Slot::R => 0,
+            Slot::T => 1,
+        }
+    }
 }
 
 /// A party awaiting a vertex's value: either another vertex or an entity
@@ -234,14 +263,17 @@ pub struct Vertex {
     /// `min(demand, request-type)`, so speculative subcomputations never
     /// ride the vital lanes.
     pub demand: Priority,
-    /// Set whenever a task executes at this vertex or is spawned targeting
-    /// it; cleared at the start of each `M_T` pass. A vertex deadlocked
-    /// before a pass by definition sees no task activity afterwards, so
-    /// the deadlock report `R_v' − T'` additionally requires `!touched` —
-    /// this screens out vertices whose task-reachability arose *during*
-    /// the pass (e.g. freshly expanded subgraphs), which stale `M_T` marks
-    /// cannot know about.
-    pub touched: bool,
+    /// The touch epoch in force when a task last executed at this vertex
+    /// or was spawned targeting it; "touched" means this equals the
+    /// store's current touch epoch (see [`crate::GraphStore::is_touched`]).
+    /// The stamp set is cleared at the start of each `M_T` pass by bumping
+    /// the store epoch (O(1)). A vertex deadlocked before a pass by
+    /// definition sees no task activity afterwards, so the deadlock report
+    /// `R_v' − T'` additionally requires "not touched" — this screens out
+    /// vertices whose task-reachability arose *during* the pass (e.g.
+    /// freshly expanded subgraphs), which stale `M_T` marks cannot know
+    /// about. `0` is never a live epoch.
+    pub(crate) touched_at: u32,
     pub(crate) in_free_list: bool,
 }
 
@@ -258,7 +290,7 @@ impl Vertex {
             mr: MarkSlot::default(),
             mt: MarkSlot::default(),
             demand: Priority::Reserve,
-            touched: false,
+            touched_at: 0,
             in_free_list: false,
         }
     }
@@ -303,6 +335,32 @@ impl Vertex {
             Slot::R => &mut self.mr,
             Slot::T => &mut self.mt,
         }
+    }
+
+    /// The epoch-normalized view of a marking slot: the stored contents if
+    /// they belong to marking cycle `epoch`, a fresh (reset) slot
+    /// otherwise. This is how slot state must be *read* under lazy epoch
+    /// reset — a stale slot still physically holds the previous cycle's
+    /// colors.
+    pub fn mark_at(&self, s: Slot, epoch: u32) -> MarkSlot {
+        let slot = self.slot(s);
+        if slot.epoch == epoch {
+            *slot
+        } else {
+            MarkSlot::fresh(epoch)
+        }
+    }
+
+    /// Mutable access to a marking slot under lazy epoch reset: a slot
+    /// from an earlier cycle is reset and stamped with `epoch` before the
+    /// reference is handed out, so writes always land in current-cycle
+    /// state.
+    pub fn mark_at_mut(&mut self, s: Slot, epoch: u32) -> &mut MarkSlot {
+        let slot = self.slot_mut(s);
+        if slot.epoch != epoch {
+            *slot = MarkSlot::fresh(epoch);
+        }
+        slot
     }
 
     /// Appends an (unrequested) arc to `args(v)`.
@@ -425,6 +483,22 @@ impl Vertex {
         out
     }
 
+    /// Visits the children [`Vertex::t_children`] returns, in the same
+    /// order, without allocating.
+    pub fn for_each_t_child(&self, mut f: impl FnMut(VertexId)) {
+        for r in &self.requested {
+            if let Some(v) = r.as_vertex() {
+                f(v);
+            }
+        }
+        for a in self.unrequested_args() {
+            f(a);
+        }
+        if let Some(v) = &self.value {
+            v.for_each_referenced(f);
+        }
+    }
+
     /// The child set traced by `M_R`: all of `args(v)`, plus the vertices a
     /// computed structured value keeps live (a cons value names its head and
     /// tail even after the arcs are rewritten).
@@ -434,6 +508,17 @@ impl Vertex {
             out.extend(v.referenced_vertices());
         }
         out
+    }
+
+    /// Visits the children [`Vertex::r_children`] returns, in the same
+    /// order, without allocating — the marking wave's hot path.
+    pub fn for_each_r_child(&self, mut f: impl FnMut(VertexId)) {
+        for &a in &self.args {
+            f(a);
+        }
+        if let Some(v) = &self.value {
+            v.for_each_referenced(f);
+        }
     }
 
     /// The child set traced by `M_R` together with each arc's request kind
@@ -480,7 +565,7 @@ impl Vertex {
         self.requested.clear();
         self.value = None;
         self.demand = Priority::Reserve;
-        self.touched = false;
+        self.touched_at = 0;
         // Marking slots are deliberately left alone: the restructuring phase
         // may free vertices while a later cycle's marks are still being
         // consulted; slots are reset when the next marking cycle begins.
@@ -677,5 +762,34 @@ mod tests {
         x.slot_mut(Slot::R).color = Color::Marked;
         assert!(x.slot(Slot::R).is_marked());
         assert!(x.slot(Slot::T).is_unmarked());
+    }
+
+    #[test]
+    fn slot_indices_are_dense() {
+        assert_eq!(Slot::R.index(), 0);
+        assert_eq!(Slot::T.index(), 1);
+    }
+
+    #[test]
+    fn mark_at_normalizes_stale_epochs() {
+        let mut x = Vertex::new(NodeLabel::Hole);
+        {
+            let s = x.mark_at_mut(Slot::R, 1);
+            s.color = Color::Marked;
+            s.mt_cnt = 3;
+        }
+        assert!(x.mark_at(Slot::R, 1).is_marked());
+        assert_eq!(x.mark_at(Slot::R, 1).mt_cnt, 3);
+        // A later cycle sees a fresh slot without any physical reset.
+        let stale_view = x.mark_at(Slot::R, 2);
+        assert!(stale_view.is_unmarked());
+        assert_eq!(stale_view.mt_cnt, 0);
+        // The raw contents are still the old cycle's until written.
+        assert!(x.mr.is_marked());
+        // First write under the new epoch lazily resets, then applies.
+        x.mark_at_mut(Slot::R, 2).color = Color::Transient;
+        assert!(x.mr.is_transient());
+        assert_eq!(x.mr.mt_cnt, 0, "lazy reset cleared the old count");
+        assert_eq!(x.mr.epoch, 2);
     }
 }

@@ -120,10 +120,7 @@ pub(crate) const BUILTINS: &[(&str, usize)] = &[
 
 /// Arity of a builtin, if `name` is one.
 pub(crate) fn builtin_arity(name: &str) -> Option<usize> {
-    BUILTINS
-        .iter()
-        .find(|(n, _)| *n == name)
-        .map(|&(_, a)| a)
+    BUILTINS.iter().find(|(n, _)| *n == name).map(|&(_, a)| a)
 }
 
 #[cfg(test)]

@@ -2,7 +2,9 @@
 
 use std::collections::HashMap;
 
-use dgr_graph::{GraphError, GraphStore, NodeLabel, Template, TemplateNode, TemplateRef, Value, VertexId};
+use dgr_graph::{
+    GraphError, GraphStore, NodeLabel, Template, TemplateNode, TemplateRef, Value, VertexId,
+};
 use dgr_reduction::{TemplateId, TemplateStore};
 
 use crate::error::LangError;
@@ -95,9 +97,12 @@ impl ScCompiler<'_> {
     }
 
     fn lookup(&self, name: &str) -> Result<TemplateRef, LangError> {
-        self.env.get(name).copied().ok_or_else(|| LangError::Compile {
-            message: format!("{}: `{name}` escaped lifting", self.sc.name),
-        })
+        self.env
+            .get(name)
+            .copied()
+            .ok_or_else(|| LangError::Compile {
+                message: format!("{}: `{name}` escaped lifting", self.sc.name),
+            })
     }
 
     /// Compiles `e`, returning a reference to its node (or to the
@@ -172,12 +177,8 @@ impl ScCompiler<'_> {
     fn compile_into(&mut self, e: &LExpr, slot: usize) -> Result<(), LangError> {
         match e {
             LExpr::Int(n) => self.nodes[slot] = TemplateNode::new(NodeLabel::lit_int(*n), vec![]),
-            LExpr::Bool(b) => {
-                self.nodes[slot] = TemplateNode::new(NodeLabel::lit_bool(*b), vec![])
-            }
-            LExpr::Nil => {
-                self.nodes[slot] = TemplateNode::new(NodeLabel::Lit(Value::Nil), vec![])
-            }
+            LExpr::Bool(b) => self.nodes[slot] = TemplateNode::new(NodeLabel::lit_bool(*b), vec![]),
+            LExpr::Nil => self.nodes[slot] = TemplateNode::new(NodeLabel::Lit(Value::Nil), vec![]),
             LExpr::ScRef(id) => {
                 self.nodes[slot] = TemplateNode::new(
                     NodeLabel::Lit(Value::Fn(*id as TemplateId, Vec::new())),
@@ -257,18 +258,18 @@ mod tests {
         let main = p.templates.get(p.main);
         // Some node's args reference itself (directly or via the root
         // indirection).
-        let cyclic = main.nodes().iter().enumerate().any(|(i, n)| {
-            n.args.iter().any(|r| *r == TemplateRef::Local(i))
-        });
+        let cyclic = main
+            .nodes()
+            .iter()
+            .enumerate()
+            .any(|(i, n)| n.args.contains(&TemplateRef::Local(i)));
         assert!(cyclic, "nodes: {:?}", main.nodes());
     }
 
     #[test]
     fn mutually_recursive_data() {
-        let p = compile_program(
-            "let rec xs = cons 1 ys; ys = cons 2 xs in head (tail xs)",
-        )
-        .unwrap();
+        let p =
+            compile_program("let rec xs = cons 1 ys; ys = cons 2 xs in head (tail xs)").unwrap();
         assert_eq!(p.templates.len(), 1);
     }
 

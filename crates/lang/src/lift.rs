@@ -361,7 +361,7 @@ impl Lifter {
             }
             Expr::App(f, args) => {
                 if let Expr::Var(b) = f.as_ref() {
-                    if self.subst.get(b).is_none() {
+                    if !self.subst.contains_key(b) {
                         if let Some(arity) = builtin_arity(b) {
                             return self.lift_builtin_app(b, arity, args);
                         }
@@ -374,7 +374,11 @@ impl Lifter {
                     .collect::<Result<_, _>>()?;
                 app_merge(f2, args2)
             }
-            Expr::Let { rec: false, binds, body } => {
+            Expr::Let {
+                rec: false,
+                binds,
+                body,
+            } => {
                 let binds2 = binds
                     .iter()
                     .map(|b| Ok((b.name.clone(), self.lift_expr(&b.expr)?)))
@@ -385,7 +389,11 @@ impl Lifter {
                     body: Box::new(self.lift_expr(body)?),
                 }
             }
-            Expr::Let { rec: true, binds, body } => self.lift_letrec(binds, body)?,
+            Expr::Let {
+                rec: true,
+                binds,
+                body,
+            } => self.lift_letrec(binds, body)?,
         })
     }
 
@@ -424,10 +432,14 @@ impl Lifter {
     fn lift_letrec(&mut self, binds: &[Binding], body: &Expr) -> Result<LExpr, LangError> {
         // Partition: lambda bindings become supercombinators; the rest are
         // (possibly cyclic) data bindings compiled as graph nodes.
-        let lambda_binds: Vec<&Binding> =
-            binds.iter().filter(|b| matches!(b.expr, Expr::Lam(..))).collect();
-        let data_binds: Vec<&Binding> =
-            binds.iter().filter(|b| !matches!(b.expr, Expr::Lam(..))).collect();
+        let lambda_binds: Vec<&Binding> = binds
+            .iter()
+            .filter(|b| matches!(b.expr, Expr::Lam(..)))
+            .collect();
+        let data_binds: Vec<&Binding> = binds
+            .iter()
+            .filter(|b| !matches!(b.expr, Expr::Lam(..)))
+            .collect();
 
         // Fixpoint free-variable computation for the function group: a
         // function capturing f also needs f's captures.
@@ -477,20 +489,13 @@ impl Lifter {
         for (i, b) in lambda_binds.iter().enumerate() {
             let id = self.reserve_sc();
             reserved.push(id);
-            self.subst
-                .insert(b.name.clone(), (id, fvs[i].clone()));
+            self.subst.insert(b.name.clone(), (id, fvs[i].clone()));
         }
         for (i, b) in lambda_binds.iter().enumerate() {
             let Expr::Lam(ps, lam_body) = &b.expr else {
                 unreachable!("partitioned above")
             };
-            self.lift_lambda(
-                b.name.clone(),
-                reserved[i],
-                fvs[i].clone(),
-                ps,
-                lam_body,
-            )?;
+            self.lift_lambda(b.name.clone(), reserved[i], fvs[i].clone(), ps, lam_body)?;
         }
 
         let data2 = data_binds
@@ -594,7 +599,12 @@ mod tests {
         );
         let even = l.scs.iter().find(|s| s.name.starts_with("even$")).unwrap();
         let odd = l.scs.iter().find(|s| s.name.starts_with("odd$")).unwrap();
-        assert_eq!(even.params.len(), 2, "k captured transitively: {:?}", even.params);
+        assert_eq!(
+            even.params.len(),
+            2,
+            "k captured transitively: {:?}",
+            even.params
+        );
         assert_eq!(odd.params.len(), 2);
     }
 

@@ -143,8 +143,14 @@ fn cyclic_data_through_letrec() {
 #[test]
 fn higher_order_builtins() {
     // cons used as a function value.
-    assert_eq!(eval_p("head (foldl (\\acc x -> cons x acc) nil [5, 6])"), int(6));
-    assert_eq!(eval_p("(compose (\\x -> x + 1) (\\x -> x * 2)) 20"), int(41));
+    assert_eq!(
+        eval_p("head (foldl (\\acc x -> cons x acc) nil [5, 6])"),
+        int(6)
+    );
+    assert_eq!(
+        eval_p("(compose (\\x -> x + 1) (\\x -> x * 2)) 20"),
+        int(41)
+    );
     assert_eq!(eval_p("twice (\\x -> x * 3) 2"), int(18));
 }
 

@@ -59,9 +59,13 @@ fn gen_expr() -> impl Strategy<Value = GenExpr> {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| GenExpr::Add(a.into(), b.into())),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| GenExpr::Mul(a.into(), b.into())),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(p, t, e)| GenExpr::If(p.into(), t.into(), e.into())),
-            (inner.clone(), inner.clone()).prop_map(|(b, body)| GenExpr::Let(b.into(), body.into())),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(p, t, e)| GenExpr::If(
+                p.into(),
+                t.into(),
+                e.into()
+            )),
+            (inner.clone(), inner.clone())
+                .prop_map(|(b, body)| GenExpr::Let(b.into(), body.into())),
             (inner.clone(), inner.clone())
                 .prop_map(|(body, arg)| GenExpr::LamApp(body.into(), arg.into())),
         ]

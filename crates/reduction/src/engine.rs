@@ -1,9 +1,7 @@
 //! The reduction rules: execution of request and return tasks.
 
 use dgr_core::{coop, MarkMsg, MarkState};
-use dgr_graph::{
-    GraphStore, NodeLabel, PrimOp, Priority, RequestKind, Requester, Value, VertexId,
-};
+use dgr_graph::{GraphStore, NodeLabel, PrimOp, Priority, RequestKind, Requester, Value, VertexId};
 
 use crate::msg::RedMsg;
 use crate::stats::RedStats;
@@ -57,7 +55,7 @@ fn push_red(ctx: &mut EngineCtx<'_>, msg: RedMsg, prio: Priority) {
 /// Spawns a return task `<v, to>` carrying `value`.
 fn reply(ctx: &mut EngineCtx<'_>, v: VertexId, to: Requester, value: Value) {
     if let Requester::Vertex(x) = to {
-        ctx.g.vertex_mut(x).touched = true;
+        ctx.g.touch(x);
     }
     push_red(
         ctx,
@@ -82,7 +80,7 @@ fn request(ctx: &mut EngineCtx<'_>, src: Requester, v: VertexId, kind: RequestKi
         ctx.stats.dangling_requests += 1;
         return;
     }
-    ctx.g.vertex_mut(v).touched = true;
+    ctx.g.touch(v);
     if let Some(val) = ctx.g.vertex(v).value.clone() {
         reply(ctx, v, src, val);
         return;
@@ -162,7 +160,7 @@ fn request_arg(ctx: &mut EngineCtx<'_>, v: VertexId, i: usize, kind: RequestKind
     // The spawned task makes `dst` task-reachable even though the arc
     // just left the `args − req-args` view M_T traces; stamp it so the
     // deadlock report cannot misread it (see `Vertex::touched`).
-    ctx.g.vertex_mut(dst).touched = true;
+    ctx.g.touch(dst);
     // The scheduling lane is `min(demand(v), request-type)` — a vital
     // sub-request of a speculative computation is itself speculative work
     // relative to the whole program (the paper's min-over-path rule).
@@ -231,7 +229,7 @@ fn ret(ctx: &mut EngineCtx<'_>, src: VertexId, v: VertexId, value: Value) {
         ctx.stats.stale_returns += 1;
         return;
     }
-    ctx.g.vertex_mut(v).touched = true;
+    ctx.g.touch(v);
     if ctx.g.vertex(v).value.is_some() {
         ctx.stats.stale_returns += 1;
         return;

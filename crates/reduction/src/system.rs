@@ -2,7 +2,7 @@
 
 use dgr_core::{handle_mark, MarkMsg, MarkState};
 use dgr_graph::{
-    GraphStore, PartitionMap, PartitionStrategy, Priority, Requester, RequestKind, TaskEndpoints,
+    GraphStore, PartitionMap, PartitionStrategy, Priority, RequestKind, Requester, TaskEndpoints,
     Value,
 };
 use dgr_sim::{DetSim, Envelope, Lane, SchedPolicy};
@@ -580,10 +580,14 @@ mod tests {
         // id inc 41 = 42, where id = \x -> x applied to 2 arguments.
         let mut ts = TemplateStore::new();
         let id = ts.register(
-            Template::new("id", 1, vec![TemplateNode::new(
-                NodeLabel::Ind,
-                vec![TemplateRef::Param(0)],
-            )])
+            Template::new(
+                "id",
+                1,
+                vec![TemplateNode::new(
+                    NodeLabel::Ind,
+                    vec![TemplateRef::Param(0)],
+                )],
+            )
             .unwrap(),
         );
         let inc = ts.register(

@@ -44,6 +44,107 @@ pub enum SchedPolicy {
 /// returned message is the caller's job — the simulator only owns delivery
 /// order, so the same simulator drives marking, reduction, and combined
 /// workloads.
+///
+/// A dense ordered set of small indexes (bit words + popcount) for the
+/// occupancy indexes below: O(1) insert/remove with no allocation, and
+/// first-at-or-after / select-nth by word scanning (one or two words for
+/// realistic PE counts).
+#[derive(Debug, Clone, Default)]
+struct IdSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl IdSet {
+    fn with_capacity(n: usize) -> Self {
+        IdSet {
+            words: vec![0; n.div_ceil(64).max(1)],
+            len: 0,
+        }
+    }
+
+    fn insert(&mut self, i: usize) -> bool {
+        let (w, m) = (i / 64, 1u64 << (i % 64));
+        if self.words[w] & m == 0 {
+            self.words[w] |= m;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn remove(&mut self, i: usize) {
+        let (w, m) = (i / 64, 1u64 << (i % 64));
+        if self.words[w] & m != 0 {
+            self.words[w] &= !m;
+            self.len -= 1;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.len = 0;
+    }
+
+    /// Smallest member `>= from`, or `None`.
+    fn first_at_or_after(&self, from: usize) -> Option<usize> {
+        let mut w = from / 64;
+        if w >= self.words.len() {
+            return None;
+        }
+        let mut word = self.words[w] & (!0u64 << (from % 64));
+        loop {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return None;
+            }
+            word = self.words[w];
+        }
+    }
+
+    fn first(&self) -> Option<usize> {
+        self.first_at_or_after(0)
+    }
+
+    /// The `k`-th smallest member (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= len`.
+    fn nth(&self, mut k: usize) -> usize {
+        for (w, &word) in self.words.iter().enumerate() {
+            let c = word.count_ones() as usize;
+            if k < c {
+                let mut word = word;
+                for _ in 0..k {
+                    word &= word - 1; // drop lowest set bit
+                }
+                return w * 64 + word.trailing_zeros() as usize;
+            }
+            k -= c;
+        }
+        unreachable!("IdSet::nth out of range")
+    }
+}
+
+/// Picks are served from incremental indexes maintained on every
+/// send/deliver, so `next_event` costs amortized O(1) instead of a scan
+/// over every PE × lane pair. The indexes are pure caches over the
+/// mailboxes: every policy delivers in exactly the order the original
+/// scanning implementation did (the `sched_differential` test pins this
+/// against a reference implementation).
 #[derive(Debug)]
 pub struct DetSim<M> {
     pes: Vec<[VecDeque<(u64, M)>; 5]>,
@@ -53,6 +154,23 @@ pub struct DetSim<M> {
     pending: usize,
     rr_cursor: usize,
     stats: SimStats,
+    /// Per-lane mirror of every send's `(seq, pe)` with **lazy deletion**.
+    /// Sequence numbers are globally monotone, so each mirror is sorted by
+    /// construction: its first entry still matching the front of its
+    /// mailbox queue is the lane's globally oldest pending message, and
+    /// its last entry matching a queue back is the newest. Deliveries
+    /// leave stale entries behind; peeks discard them from the ends.
+    mirror: [VecDeque<(u64, u16)>; 5],
+    /// Per-lane set of PEs whose mailbox for that lane is non-empty.
+    lane_pes: [IdSet; 5],
+    /// Non-empty `(pe, lane index)` pairs (as `pe * 5 + lane`, which is
+    /// `(pe, lane)` lexicographic) outside the marking lane — the order
+    /// the original random-policy scan produced its candidate pool in.
+    other_pool: IdSet,
+    /// Pending-message count per PE (round-robin occupancy).
+    pe_pending: Vec<u32>,
+    /// PEs with at least one pending message, ordered.
+    nonempty_pes: IdSet,
 }
 
 impl<M> DetSim<M> {
@@ -71,6 +189,118 @@ impl<M> DetSim<M> {
             pending: 0,
             rr_cursor: 0,
             stats: SimStats::default(),
+            mirror: Default::default(),
+            lane_pes: std::array::from_fn(|_| IdSet::with_capacity(num_pes as usize)),
+            other_pool: IdSet::with_capacity(num_pes as usize * 5),
+            pe_pending: vec![0; num_pes as usize],
+            nonempty_pes: IdSet::with_capacity(num_pes as usize),
+        }
+    }
+
+    /// Records `seq` entering the mailbox `(pe, lane)` in the indexes.
+    fn index_insert(&mut self, pe: u16, lane: Lane, seq: u64) {
+        let l = lane.index();
+        self.mirror[l].push_back((seq, pe));
+        if self.pes[pe as usize][l].len() == 1
+            && self.lane_pes[l].insert(pe as usize)
+            && lane != Lane::Marking
+        {
+            self.other_pool.insert(pe as usize * 5 + l);
+        }
+        if self.pe_pending[pe as usize] == 0 {
+            self.nonempty_pes.insert(pe as usize);
+        }
+        self.pe_pending[pe as usize] += 1;
+    }
+
+    /// Records `seq` leaving the mailbox `(pe, lane)`. The mirror entry
+    /// for `seq` stays behind as stale and is discarded by a later lazy
+    /// peek.
+    fn index_remove(&mut self, pe: u16, lane: Lane, _seq: u64) {
+        let l = lane.index();
+        if self.pes[pe as usize][l].is_empty() {
+            self.lane_pes[l].remove(pe as usize);
+            if lane != Lane::Marking {
+                self.other_pool.remove(pe as usize * 5 + l);
+            }
+        }
+        self.pe_pending[pe as usize] -= 1;
+        if self.pe_pending[pe as usize] == 0 {
+            self.nonempty_pes.remove(pe as usize);
+        }
+    }
+
+    /// The lane's oldest pending `(seq, pe)`, discarding stale mirror
+    /// entries from the front. A front entry is valid iff it matches the
+    /// front of its mailbox queue: sequence numbers are unique and the
+    /// mirror is seq-sorted, so when `seq` is the mirror minimum every
+    /// smaller (hence earlier-queued) message has been delivered, and a
+    /// still-pending `seq` must sit at its queue's front.
+    fn lane_oldest(
+        pes: &[[VecDeque<(u64, M)>; 5]],
+        mirror: &mut VecDeque<(u64, u16)>,
+        l: usize,
+    ) -> Option<(u64, u16)> {
+        while let Some(&(seq, pe)) = mirror.front() {
+            if pes[pe as usize][l].front().map(|&(s, _)| s) == Some(seq) {
+                return Some((seq, pe));
+            }
+            mirror.pop_front();
+        }
+        None
+    }
+
+    /// Mirror of [`DetSim::lane_oldest`] for the newest entry: discards
+    /// stale entries from the back, validating against queue backs.
+    fn lane_newest(
+        pes: &[[VecDeque<(u64, M)>; 5]],
+        mirror: &mut VecDeque<(u64, u16)>,
+        l: usize,
+    ) -> Option<(u64, u16)> {
+        while let Some(&(seq, pe)) = mirror.back() {
+            if pes[pe as usize][l].back().map(|&(s, _)| s) == Some(seq) {
+                return Some((seq, pe));
+            }
+            mirror.pop_back();
+        }
+        None
+    }
+
+    /// Reconstructs every index from the mailboxes, after bulk surgery
+    /// (`expunge` / `relane`) rewrote queues wholesale.
+    fn rebuild_index(&mut self) {
+        self.mirror = Default::default();
+        for s in self.lane_pes.iter_mut() {
+            s.clear();
+        }
+        self.other_pool.clear();
+        self.nonempty_pes.clear();
+        for c in self.pe_pending.iter_mut() {
+            *c = 0;
+        }
+        for (p, lanes) in self.pes.iter().enumerate() {
+            let pe = p as u16;
+            for lane in Lane::ALL {
+                let l = lane.index();
+                let q = &lanes[l];
+                for &(s, _) in q {
+                    self.mirror[l].push_back((s, pe));
+                }
+                if !q.is_empty() {
+                    self.lane_pes[l].insert(p);
+                    if lane != Lane::Marking {
+                        self.other_pool.insert(p * 5 + l);
+                    }
+                    self.pe_pending[p] += q.len() as u32;
+                }
+            }
+            if self.pe_pending[p] > 0 {
+                self.nonempty_pes.insert(p);
+            }
+        }
+        // Mirrors must be seq-sorted; queue-concatenation order is not.
+        for m in self.mirror.iter_mut() {
+            m.make_contiguous().sort_unstable();
         }
     }
 
@@ -85,10 +315,12 @@ impl<M> DetSim<M> {
     ///
     /// Panics if the destination PE does not exist.
     pub fn send(&mut self, env: Envelope<M>) {
+        let seq = self.seq;
         let q = &mut self.pes[env.dst.index()][env.lane.index()];
-        q.push_back((self.seq, env.msg));
+        q.push_back((seq, env.msg));
         self.seq += 1;
         self.pending += 1;
+        self.index_insert(env.dst.raw(), env.lane, seq);
         self.stats.record_send(env.lane);
         self.stats.observe_depth(self.pending);
     }
@@ -121,107 +353,108 @@ impl<M> DetSim<M> {
             SchedPolicy::Random { marking_bias } => self.pick_random(marking_bias)?,
             SchedPolicy::PriorityFirst => self.pick_priority_first()?,
         };
-        let deque = &mut self.pes[pe.index()][lane.index()];
-        let (_, msg) = if matches!(self.policy, SchedPolicy::Lifo) {
+        let l = lane.index();
+        let deque = &mut self.pes[pe.index()][l];
+        let (seq, msg) = if matches!(self.policy, SchedPolicy::Lifo) {
             deque.pop_back()?
         } else {
             deque.pop_front()?
         };
         self.pending -= 1;
+        self.index_remove(pe.raw(), lane, seq);
         self.stats.record_deliver(lane);
         Some((pe, lane, msg))
     }
 
-    fn pick_extreme(&self, newest: bool) -> Option<(PeId, Lane)> {
+    /// Globally oldest (`newest = false`) or newest pending message. Queues
+    /// are seq-sorted, so the lane heaps' extreme valid entries are exactly
+    /// the queue fronts/backs the original full scan compared.
+    fn pick_extreme(&mut self, newest: bool) -> Option<(PeId, Lane)> {
         let mut best: Option<(u64, PeId, Lane)> = None;
-        for (p, lanes) in self.pes.iter().enumerate() {
-            for lane in Lane::ALL {
-                let q = &lanes[lane.index()];
-                let cand = if newest {
-                    q.back().map(|&(s, _)| s)
-                } else {
-                    q.front().map(|&(s, _)| s)
-                };
-                if let Some(s) = cand {
-                    let better = match best {
-                        None => true,
-                        Some((bs, _, _)) => {
-                            if newest {
-                                s > bs
-                            } else {
-                                s < bs
-                            }
+        for lane in Lane::ALL {
+            let l = lane.index();
+            let entry = if newest {
+                Self::lane_newest(&self.pes, &mut self.mirror[l], l)
+            } else {
+                Self::lane_oldest(&self.pes, &mut self.mirror[l], l)
+            };
+            if let Some((s, pe)) = entry {
+                let better = match best {
+                    None => true,
+                    Some((bs, _, _)) => {
+                        if newest {
+                            s > bs
+                        } else {
+                            s < bs
                         }
-                    };
-                    if better {
-                        best = Some((s, PeId::new(p as u16), lane));
                     }
+                };
+                if better {
+                    best = Some((s, PeId::new(pe), lane));
                 }
             }
         }
         best.map(|(_, p, l)| (p, l))
     }
 
+    /// First PE with work at or after the cursor (wrapping), then the
+    /// oldest message across that PE's five lanes.
     fn pick_round_robin(&mut self) -> Option<(PeId, Lane)> {
-        let n = self.pes.len();
-        for off in 0..n {
-            let p = (self.rr_cursor + off) % n;
-            // Oldest message within the PE, across lanes.
-            let mut best: Option<(u64, Lane)> = None;
-            for lane in Lane::ALL {
-                if let Some(&(s, _)) = self.pes[p][lane.index()].front() {
-                    if best.map_or(true, |(bs, _)| s < bs) {
-                        best = Some((s, lane));
-                    }
-                }
-            }
-            if let Some((_, lane)) = best {
-                self.rr_cursor = (p + 1) % n;
-                return Some((PeId::new(p as u16), lane));
-            }
-        }
-        None
-    }
-
-    fn pick_random(&mut self, marking_bias: f64) -> Option<(PeId, Lane)> {
-        let mut marking: Vec<(usize, Lane)> = Vec::new();
-        let mut other: Vec<(usize, Lane)> = Vec::new();
-        for (p, lanes) in self.pes.iter().enumerate() {
-            for lane in Lane::ALL {
-                if !lanes[lane.index()].is_empty() {
-                    if lane == Lane::Marking {
-                        marking.push((p, lane));
-                    } else {
-                        other.push((p, lane));
-                    }
+        let p = self
+            .nonempty_pes
+            .first_at_or_after(self.rr_cursor)
+            .or_else(|| self.nonempty_pes.first())?;
+        let mut best: Option<(u64, Lane)> = None;
+        for lane in Lane::ALL {
+            if let Some(&(s, _)) = self.pes[p][lane.index()].front() {
+                if best.is_none_or(|(bs, _)| s < bs) {
+                    best = Some((s, lane));
                 }
             }
         }
-        let pool = if marking.is_empty() {
-            &other
-        } else if other.is_empty() {
-            &marking
-        } else if self.rng.gen_bool(marking_bias.clamp(0.0, 1.0)) {
-            &marking
-        } else {
-            &other
-        };
-        if pool.is_empty() {
-            return None;
-        }
-        let (p, lane) = pool[self.rng.gen_range(0..pool.len())];
+        let (_, lane) = best?;
+        self.rr_cursor = (p + 1) % self.pes.len();
         Some((PeId::new(p as u16), lane))
     }
 
+    /// Biased coin between the marking pool and everything else, then a
+    /// uniform pick within the chosen pool. The pools iterate in the same
+    /// `(pe, lane)` order the original scan materialized them in, and the
+    /// RNG is consulted in the same cases, so the stream of draws — and
+    /// therefore the delivery order — is unchanged.
+    fn pick_random(&mut self, marking_bias: f64) -> Option<(PeId, Lane)> {
+        let marking = &self.lane_pes[Lane::Marking.index()];
+        let use_marking = if marking.is_empty() {
+            false
+        } else if self.other_pool.is_empty() {
+            true
+        } else {
+            self.rng.gen_bool(marking_bias.clamp(0.0, 1.0))
+        };
+        if use_marking {
+            let i = self.rng.gen_range(0..marking.len());
+            let pe = marking.nth(i);
+            Some((PeId::new(pe as u16), Lane::Marking))
+        } else {
+            if self.other_pool.is_empty() {
+                return None;
+            }
+            let i = self.rng.gen_range(0..self.other_pool.len());
+            let idx = self.other_pool.nth(i);
+            Some((PeId::new((idx / 5) as u16), Lane::ALL[idx % 5]))
+        }
+    }
+
+    /// Highest-preference non-empty lane, rotating among its PEs.
     fn pick_priority_first(&mut self) -> Option<(PeId, Lane)> {
-        let n = self.pes.len();
         for lane in Lane::ALL {
-            for off in 0..n {
-                let p = (self.rr_cursor + off) % n;
-                if !self.pes[p][lane.index()].is_empty() {
-                    self.rr_cursor = (p + 1) % n;
-                    return Some((PeId::new(p as u16), lane));
-                }
+            let pes = &self.lane_pes[lane.index()];
+            if let Some(p) = pes
+                .first_at_or_after(self.rr_cursor)
+                .or_else(|| pes.first())
+            {
+                self.rr_cursor = (p + 1) % self.pes.len();
+                return Some((PeId::new(p as u16), lane));
             }
         }
         None
@@ -232,19 +465,13 @@ impl<M> DetSim<M> {
     /// priority service (e.g. marking tasks during a collection phase,
     /// per the paper's Section 6 remark).
     pub fn next_event_in_lane(&mut self, lane: Lane) -> Option<(PeId, Lane, M)> {
-        let mut best: Option<(u64, usize)> = None;
-        for (p, lanes) in self.pes.iter().enumerate() {
-            if let Some(&(s, _)) = lanes[lane.index()].front() {
-                if best.map_or(true, |(bs, _)| s < bs) {
-                    best = Some((s, p));
-                }
-            }
-        }
-        let (_, p) = best?;
-        let (_, msg) = self.pes[p][lane.index()].pop_front()?;
+        let l = lane.index();
+        let (_, pe) = Self::lane_oldest(&self.pes, &mut self.mirror[l], l)?;
+        let (seq, msg) = self.pes[pe as usize][lane.index()].pop_front()?;
         self.pending -= 1;
+        self.index_remove(pe, lane, seq);
         self.stats.record_deliver(lane);
-        Some((PeId::new(p as u16), lane, msg))
+        Some((PeId::new(pe), lane, msg))
     }
 
     /// Iterates over all pending messages (for `taskroot` construction and
@@ -276,6 +503,7 @@ impl<M> DetSim<M> {
             }
         }
         self.pending -= dropped;
+        self.rebuild_index();
         dropped
     }
 
@@ -305,6 +533,7 @@ impl<M> DetSim<M> {
                 lanes[lane.index()].push_back((s, m));
             }
         }
+        self.rebuild_index();
         moved
     }
 

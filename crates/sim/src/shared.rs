@@ -1,7 +1,33 @@
 //! A computation graph shared between PE threads with per-vertex locks.
 
-use dgr_graph::{GraphError, GraphStore, NodeLabel, Vertex, VertexId};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use dgr_graph::{Color, Epochs, GraphError, GraphStore, NodeLabel, Slot, Vertex, VertexId};
 use parking_lot::{Mutex, MutexGuard};
+
+/// Encodes a `(epoch, color)` pair into one lock-free word: the full
+/// 32-bit epoch in the high half, the color code in the low bits. Word 0
+/// (epoch 0) is never a live epoch, so a fresh word always reads as
+/// "no current-cycle information".
+fn encode_r_word(epoch: u32, color: Color) -> u64 {
+    let code = match color {
+        Color::Unmarked => 0u64,
+        Color::Transient => 1,
+        Color::Marked => 2,
+    };
+    ((epoch as u64) << 2) | code
+}
+
+fn decode_r_word(word: u64, epoch: u32) -> Option<Color> {
+    if (word >> 2) as u32 != epoch {
+        return None;
+    }
+    Some(match word & 0b11 {
+        0 => Color::Unmarked,
+        1 => Color::Transient,
+        _ => Color::Marked,
+    })
+}
 
 /// The computation graph in the form the threaded runtime uses: each vertex
 /// behind its own `parking_lot` mutex, the free list behind one more.
@@ -33,16 +59,40 @@ pub struct SharedGraph {
     verts: Vec<Mutex<Vertex>>,
     free: Mutex<Vec<VertexId>>,
     root: Option<VertexId>,
+    /// Current marking epoch per [`Slot`] (see [`Epochs`]). Bumped only
+    /// between passes, while no marking thread is running, so Relaxed
+    /// loads inside a pass always see the pass's epoch (the thread spawn
+    /// that starts the pass synchronizes-with everything before it).
+    mark_epochs: [AtomicU32; 2],
+    /// Touch epoch, carried through for round-tripping (the threaded
+    /// marking runtime never touches vertices).
+    touch_epoch: u32,
+    /// Lock-free snapshot of each vertex's R-slot `(epoch, color)`,
+    /// maintained alongside the locked slot (see [`SharedGraph::r_probe`]).
+    r_words: Vec<AtomicU64>,
 }
 
 impl SharedGraph {
     /// Converts a plain store into the shared form.
     pub fn from_store(store: GraphStore) -> Self {
-        let (verts, free, root) = store.into_parts();
+        let (verts, free, root, epochs) = store.into_parts();
+        let r_words = verts
+            .iter()
+            .map(|v| {
+                let s = v.slot(Slot::R);
+                AtomicU64::new(encode_r_word(s.epoch, s.color))
+            })
+            .collect();
         SharedGraph {
             verts: verts.into_iter().map(Mutex::new).collect(),
             free: Mutex::new(free),
             root,
+            mark_epochs: [
+                AtomicU32::new(epochs.mark[Slot::R.index()]),
+                AtomicU32::new(epochs.mark[Slot::T.index()]),
+            ],
+            touch_epoch: epochs.touch,
+            r_words,
         }
     }
 
@@ -50,7 +100,51 @@ impl SharedGraph {
     /// locks must be free, which is guaranteed by ownership).
     pub fn into_store(self) -> GraphStore {
         let verts: Vec<Vertex> = self.verts.into_iter().map(|m| m.into_inner()).collect();
-        GraphStore::from_parts(verts, self.free.into_inner(), self.root)
+        let [epoch_r, epoch_t] = self.mark_epochs;
+        let epochs = Epochs {
+            mark: [epoch_r.into_inner(), epoch_t.into_inner()],
+            touch: self.touch_epoch,
+        };
+        GraphStore::from_parts(verts, self.free.into_inner(), self.root, epochs)
+    }
+
+    /// The current marking epoch of `slot`. Relaxed: the epoch only
+    /// changes between passes (never while marking threads run), so any
+    /// load during a pass returns the pass's epoch.
+    pub fn mark_epoch(&self, slot: Slot) -> u32 {
+        self.mark_epochs[slot.index()].load(Ordering::Relaxed)
+    }
+
+    /// Begins a new marking cycle for `slot`: an O(1) epoch bump, after
+    /// which every vertex's slot reads as freshly reset (stale `r_words`
+    /// entries fail the epoch check in [`SharedGraph::r_probe`]).
+    ///
+    /// Must only be called while no marking threads are running; the
+    /// thread spawn that starts the next pass publishes the new epoch.
+    pub fn begin_mark_cycle(&self, slot: Slot) {
+        self.mark_epochs[slot.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lock-free probe of vertex `id`'s R-slot color in the current
+    /// cycle, or `None` if the vertex has not been written this cycle
+    /// (equivalently: it reads as Unmarked, but the caller must take the
+    /// lock to claim it).
+    ///
+    /// Acquire pairs with the Release in [`SharedGraph::publish_r`]:
+    /// observing a published color happens-after everything the
+    /// publishing thread did up to (and including) the write, so a
+    /// reader that skips the lock on a non-Unmarked probe behaves
+    /// exactly like one that took the lock and saw the same color.
+    pub fn r_probe(&self, id: VertexId, epoch: u32) -> Option<Color> {
+        decode_r_word(self.r_words[id.index()].load(Ordering::Acquire), epoch)
+    }
+
+    /// Publishes vertex `id`'s current-cycle R color to the lock-free
+    /// word. The caller must hold `id`'s vertex lock and have already
+    /// applied the corresponding slot write, so the Release store is the
+    /// last write of the transition.
+    pub fn publish_r(&self, id: VertexId, epoch: u32, color: Color) {
+        self.r_words[id.index()].store(encode_r_word(epoch, color), Ordering::Release);
     }
 
     /// The distinguished root, if set.
@@ -108,6 +202,9 @@ impl SharedGraph {
         };
         let mut v = self.lock(id);
         *v = Vertex::new(label);
+        // A recycled slot must not inherit the previous occupant's
+        // published color (the epoch may still be current).
+        self.r_words[id.index()].store(0, Ordering::Release);
         Ok(id)
     }
 
@@ -116,6 +213,7 @@ impl SharedGraph {
         {
             let mut v = self.lock(id);
             v.clear_for_free();
+            self.r_words[id.index()].store(0, Ordering::Release);
         }
         self.free.lock().push(id);
     }

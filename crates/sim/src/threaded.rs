@@ -1,7 +1,15 @@
 //! The threaded runtime: one OS thread per PE, channel mailboxes, and
 //! quiescence-based termination.
+//!
+//! Cross-PE traffic is **batched**: messages a handler sends are staged in
+//! a per-thread outbox and flushed as one work item per destination PE
+//! when the handler's work item completes. This turns the per-message
+//! channel-send + counter round-trip into a per-batch one, which is the
+//! difference between the runtime's overhead scaling with message count
+//! and scaling with handler activations.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -11,31 +19,70 @@ use crate::msg::Envelope;
 
 enum WorkItem<M> {
     Msg(M),
+    Batch(Vec<M>),
     Stop,
+}
+
+impl<M> WorkItem<M> {
+    fn from_batch(mut batch: Vec<M>) -> Self {
+        if batch.len() == 1 {
+            WorkItem::Msg(batch.pop().expect("len 1"))
+        } else {
+            WorkItem::Batch(batch)
+        }
+    }
 }
 
 /// Handle a PE-thread handler uses to send messages to other PEs.
 ///
-/// Sends are counted: the runtime shuts down when every sent message has
-/// been handled and no handler is running (global quiescence). This mirrors
-/// how the marking algorithm is its own termination detector — `done`
-/// becomes true — while the runtime-level counter catches handler bugs that
-/// would otherwise hang the system.
+/// Sends are staged in a per-thread outbox and flushed — one batch per
+/// destination PE — after the current work item's handler invocations
+/// finish. The in-flight **work item** count drives shutdown: the runtime
+/// stops when every item has been consumed and nothing was flushed
+/// (global quiescence). This mirrors how the marking algorithm is its own
+/// termination detector — `done` becomes true — while the runtime-level
+/// counter catches handler bugs that would otherwise hang the system.
 pub struct ThreadCtx<M> {
     senders: Arc<Vec<Sender<WorkItem<M>>>>,
+    /// In-flight work items (batches), **not** messages. Invariant: a
+    /// batch is registered (fetch_add) before the item that spawned it is
+    /// released (fetch_sub in the worker loop), so the count can only
+    /// reach zero when no work exists anywhere.
     pending: Arc<AtomicUsize>,
     me: PeId,
+    /// Per-destination staging buffers; drained by `flush`. Strictly
+    /// thread-local (each worker owns its ctx), hence `RefCell`.
+    outbox: RefCell<Vec<Vec<M>>>,
 }
 
 impl<M> ThreadCtx<M> {
-    /// Sends a message to another PE (or to this one).
+    /// Sends a message to another PE (or to this one). The message is
+    /// staged and delivered when the current work item completes.
     pub fn send(&self, env: Envelope<M>) {
-        self.pending.fetch_add(1, Ordering::SeqCst);
-        // Unbounded channel: send can only fail if the receiver is gone,
-        // which cannot happen before quiescence.
-        self.senders[env.dst.index()]
-            .send(WorkItem::Msg(env.msg))
-            .expect("receiver alive until quiescence");
+        self.outbox.borrow_mut()[env.dst.index()].push(env.msg);
+    }
+
+    /// Flushes the outbox: one work item per destination PE with staged
+    /// messages. Called by the worker loop after handling a work item,
+    /// **before** that item's `pending` decrement (see `pending`).
+    fn flush(&self) {
+        let mut outbox = self.outbox.borrow_mut();
+        for (dst, buf) in outbox.iter_mut().enumerate() {
+            if buf.is_empty() {
+                continue;
+            }
+            let batch = std::mem::take(buf);
+            // Relaxed suffices: this add is ordered before our caller's
+            // fetch_sub on the same atomic (single modification order),
+            // and the receiving worker observes the batch through the
+            // channel, which synchronizes the message payloads.
+            self.pending.fetch_add(1, Ordering::Relaxed);
+            // Unbounded channel: send can only fail if the receiver is
+            // gone, which cannot happen before quiescence.
+            self.senders[dst]
+                .send(WorkItem::from_batch(batch))
+                .expect("receiver alive until quiescence");
+        }
     }
 
     /// The PE this handler is running on.
@@ -94,7 +141,8 @@ impl ThreadedRuntime {
     }
 
     /// Runs `handler` on every delivered message until global quiescence.
-    /// Returns the total number of messages handled.
+    /// Returns the total number of messages handled (messages inside a
+    /// batch count individually).
     ///
     /// The handler runs on the destination PE's thread. It may send further
     /// messages through the [`ThreadCtx`]; shared state (e.g. a
@@ -114,16 +162,26 @@ impl ThreadedRuntime {
         }
         let senders = Arc::new(senders);
         let pending = Arc::new(AtomicUsize::new(0));
-        let handled_total = AtomicUsize::new(0);
+        let handled_total = AtomicU64::new(0);
 
-        // Seed the mailboxes before any worker starts.
-        pending.fetch_add(initial.len(), Ordering::SeqCst);
+        // Seed the mailboxes before any worker starts: one batch per
+        // destination PE with initial messages.
+        let mut seeds: Vec<Vec<M>> = (0..n).map(|_| Vec::new()).collect();
         for env in initial {
-            senders[env.dst.index()]
-                .send(WorkItem::Msg(env.msg))
+            seeds[env.dst.index()].push(env.msg);
+        }
+        let mut seeded = false;
+        for (dst, batch) in seeds.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            seeded = true;
+            pending.fetch_add(1, Ordering::SeqCst);
+            senders[dst]
+                .send(WorkItem::from_batch(batch))
                 .expect("fresh channel");
         }
-        if pending.load(Ordering::SeqCst) == 0 {
+        if !seeded {
             return 0;
         }
 
@@ -133,31 +191,47 @@ impl ThreadedRuntime {
                     senders: Arc::clone(&senders),
                     pending: Arc::clone(&pending),
                     me: PeId::new(i as u16),
+                    outbox: RefCell::new((0..n).map(|_| Vec::new()).collect()),
                 };
                 let handler = &handler;
                 let handled_total = &handled_total;
                 scope.spawn(move || {
                     while let Ok(item) = rx.recv() {
-                        match item {
+                        let msgs = match item {
                             WorkItem::Stop => break,
                             WorkItem::Msg(m) => {
                                 handler(&ctx, m);
-                                handled_total.fetch_add(1, Ordering::SeqCst);
-                                // This message is done; if it was the last
-                                // in-flight message anywhere, wake everyone
-                                // up for shutdown.
-                                if ctx.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
-                                    for s in ctx.senders.iter() {
-                                        let _ = s.send(WorkItem::Stop);
-                                    }
+                                1
+                            }
+                            WorkItem::Batch(batch) => {
+                                let len = batch.len() as u64;
+                                for m in batch {
+                                    handler(&ctx, m);
                                 }
+                                len
+                            }
+                        };
+                        // Relaxed: only read after thread::scope joins,
+                        // which synchronizes all workers' writes.
+                        handled_total.fetch_add(msgs, Ordering::Relaxed);
+                        // Register everything this item spawned *before*
+                        // releasing the item itself, so `pending` never
+                        // falsely dips to zero.
+                        ctx.flush();
+                        // AcqRel: the release half orders this worker's
+                        // effects before the count reaching zero; the
+                        // acquire half makes the thread that observes zero
+                        // see every other worker's released effects.
+                        if ctx.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            for s in ctx.senders.iter() {
+                                let _ = s.send(WorkItem::Stop);
                             }
                         }
                     }
                 });
             }
         });
-        handled_total.load(Ordering::SeqCst) as u64
+        handled_total.load(Ordering::Relaxed)
     }
 }
 
@@ -206,6 +280,39 @@ mod tests {
         for c in &per_pe {
             assert_eq!(c.load(Ordering::SeqCst), 16);
         }
+    }
+
+    #[test]
+    fn batched_sends_deliver_every_message() {
+        // Every handled message fans out to all PEs at once, exercising
+        // multi-destination flushes and multi-message batches.
+        let rt = ThreadedRuntime::new(4);
+        let handled = rt.run(
+            vec![Envelope::new(PeId::new(0), Lane::Marking, 3u32)],
+            |ctx, n| {
+                if n > 0 {
+                    for dst in 0..ctx.num_pes() {
+                        ctx.send(Envelope::new(PeId::new(dst as u16), Lane::Marking, n - 1));
+                    }
+                }
+            },
+        );
+        // Level k (message value 3-k) has 4^k messages: 1 + 4 + 16 + 64.
+        assert_eq!(handled, 85);
+    }
+
+    #[test]
+    fn self_sends_are_delivered() {
+        let rt = ThreadedRuntime::new(2);
+        let handled = rt.run(
+            vec![Envelope::new(PeId::new(1), Lane::Marking, 4u32)],
+            |ctx, n| {
+                if n > 0 {
+                    ctx.send(Envelope::new(ctx.me(), Lane::Marking, n - 1));
+                }
+            },
+        );
+        assert_eq!(handled, 5);
     }
 
     #[test]

@@ -76,7 +76,7 @@ proptest! {
         }
         let before = sim.len();
         let dropped = sim.expunge(|_, _, &m| m % drop_mod != 0);
-        let expected_dropped = sends.iter().enumerate().filter(|(i, _)| *i as u32 % drop_mod == 0).count();
+        let expected_dropped = sends.iter().enumerate().filter(|(i, _)| (*i as u32).is_multiple_of(drop_mod)).count();
         prop_assert_eq!(dropped, expected_dropped);
         prop_assert_eq!(sim.len(), before - dropped);
 

@@ -96,7 +96,11 @@ mod tests {
         }
         // Moves flatten the tree toward a star over time, so later steps
         // may find no 2-path; plenty must still have applied.
-        assert!(mutator.applied > 50, "applied {} mutations", mutator.applied);
+        assert!(
+            mutator.applied > 50,
+            "applied {} mutations",
+            mutator.applied
+        );
         let after = oracle::reachable_r(&g);
         assert_eq!(before, after, "moves never change R");
         assert!(g.check_consistency().is_ok());

@@ -14,11 +14,8 @@ use dgr::prelude::*;
 fn drive(recovery: bool) {
     // `let rec x = x + 1 in x` — the exact graph of Figure 3-1, built
     // from source through the compiler.
-    let sys = dgr::lang::build_system(
-        "let rec x = x + 1 in x",
-        SystemConfig::default(),
-    )
-    .expect("program compiles");
+    let sys = dgr::lang::build_system("let rec x = x + 1 in x", SystemConfig::default())
+        .expect("program compiles");
     let mut gc = GcDriver::new(
         sys,
         GcConfig {

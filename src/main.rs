@@ -205,14 +205,22 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--pes" => {
-                opts.pes = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+                opts.pes = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--seed" => {
-                opts.seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+                opts.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--gc-period" => {
-                opts.gc_period =
-                    args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+                opts.gc_period = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--random" => opts.random = true,
             "--speculate" => opts.speculate = true,

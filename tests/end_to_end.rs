@@ -7,7 +7,12 @@ use dgr::lang::{build_system, build_with_prelude};
 use dgr::prelude::*;
 use dgr::workloads::programs;
 
-fn run_gc(src: &str, prelude: bool, sys_cfg: SystemConfig, gc_cfg: GcConfig) -> (RunOutcome, GcDriver) {
+fn run_gc(
+    src: &str,
+    prelude: bool,
+    sys_cfg: SystemConfig,
+    gc_cfg: GcConfig,
+) -> (RunOutcome, GcDriver) {
     let sys = if prelude {
         build_with_prelude(src, sys_cfg)
     } else {

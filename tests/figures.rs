@@ -17,9 +17,11 @@ fn figure_3_1_deadlock() {
     let x = g.alloc(NodeLabel::Prim(PrimOp::Add)).unwrap();
     let one = g.alloc(NodeLabel::lit_int(1)).unwrap();
     g.connect(x, x);
-    g.vertex_mut(x).set_request_kind(0, Some(RequestKind::Vital));
+    g.vertex_mut(x)
+        .set_request_kind(0, Some(RequestKind::Vital));
     g.connect(x, one);
-    g.vertex_mut(x).set_request_kind(1, Some(RequestKind::Vital));
+    g.vertex_mut(x)
+        .set_request_kind(1, Some(RequestKind::Vital));
     g.set_root(x);
     let o = oracle::Oracle::compute(&g, &TaskEndpoints::new());
     assert!(o.deadlocked.contains(x));
@@ -90,14 +92,17 @@ fn figure_3_2_task_taxonomy() {
     // p: predicate resolved true; plus1 upgraded to vital; plus3 arc
     // dereferenced (gone).
     g.connect(p, plus1);
-    g.vertex_mut(p).set_request_kind(0, Some(RequestKind::Vital));
+    g.vertex_mut(p)
+        .set_request_kind(0, Some(RequestKind::Vital));
 
     // z: if p then d else c — p vital, d speculated eagerly, c not (yet)
     // requested.
     g.connect(z, p);
-    g.vertex_mut(z).set_request_kind(0, Some(RequestKind::Vital));
+    g.vertex_mut(z)
+        .set_request_kind(0, Some(RequestKind::Vital));
     g.connect(z, d);
-    g.vertex_mut(z).set_request_kind(1, Some(RequestKind::Eager));
+    g.vertex_mut(z)
+        .set_request_kind(1, Some(RequestKind::Eager));
     g.connect(z, c);
     g.vertex_mut(p).add_requester(Requester::Vertex(z));
     g.set_root(z);
@@ -214,8 +219,8 @@ fn figure_4_1_simplified_marking() {
 /// mark for b is in flight).
 #[test]
 fn figure_4_2_cooperating_mutators() {
-    use dgr::marking::{coop, handle_mark, MarkMsg, MarkState, RMode};
     use dgr::graph::MarkParent;
+    use dgr::marking::{coop, handle_mark, MarkMsg, MarkState, RMode};
 
     for coop_on in [true, false] {
         let mut g = GraphStore::with_capacity(4);

@@ -181,8 +181,11 @@ fn expr_strategy() -> impl Strategy<Value = E> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(p, t, e)| E::If(Box::new(p), Box::new(t), Box::new(e))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(p, t, e)| E::If(
+                Box::new(p),
+                Box::new(t),
+                Box::new(e)
+            )),
         ]
     })
 }

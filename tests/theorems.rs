@@ -52,7 +52,7 @@ fn marked_pass_with_churn(
             sim.send(route(&partition, m));
         }
         events += 1;
-        if events % period == 0 {
+        if events.is_multiple_of(period) {
             if let Some(op) = ops.next() {
                 let mut coop_buf = Vec::new();
                 rep.apply(op, state, &mut |m| coop_buf.push(m));
@@ -144,17 +144,21 @@ fn theorem_2_deadlock_containments() {
             .collect();
         for i in 0..n {
             g.connect(cyc[i], cyc[(i + 1) % n]);
-            g.vertex_mut(cyc[i]).set_request_kind(0, Some(RequestKind::Vital));
+            g.vertex_mut(cyc[i])
+                .set_request_kind(0, Some(RequestKind::Vital));
         }
         g.connect(root, cyc[0]);
-        g.vertex_mut(root).set_request_kind(0, Some(RequestKind::Vital));
+        g.vertex_mut(root)
+            .set_request_kind(0, Some(RequestKind::Vital));
         // Healthy region: an in-progress strict op with a pending task.
         let busy = g.alloc(NodeLabel::Prim(PrimOp::Neg)).unwrap();
         let leaf = g.alloc(NodeLabel::lit_int(5)).unwrap();
         g.connect(busy, leaf);
-        g.vertex_mut(busy).set_request_kind(0, Some(RequestKind::Vital));
+        g.vertex_mut(busy)
+            .set_request_kind(0, Some(RequestKind::Vital));
         g.connect(root, busy);
-        g.vertex_mut(root).set_request_kind(1, Some(RequestKind::Vital));
+        g.vertex_mut(root)
+            .set_request_kind(1, Some(RequestKind::Vital));
         g.vertex_mut(leaf)
             .add_requester(dgr::graph::Requester::Vertex(busy));
         g.set_root(root);
@@ -181,7 +185,10 @@ fn theorem_2_deadlock_containments() {
             assert!(flagged.contains(&v), "seed {seed}: {v} missed");
         }
         for &v in &flagged {
-            assert!(o_tc.deadlocked.contains(v), "seed {seed}: {v} false positive");
+            assert!(
+                o_tc.deadlocked.contains(v),
+                "seed {seed}: {v} false positive"
+            );
         }
     }
 }

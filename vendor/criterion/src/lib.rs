@@ -1,0 +1,201 @@
+//! Offline stub of `criterion`, covering the API surface the `dgr-bench`
+//! benches use: `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function`, `bench_with_input`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! No statistics, plots, or warm-up model — each benchmark runs
+//! `sample_size` timed iterations and prints min/mean wall time. That is
+//! enough for `cargo bench` to compile, run, and give a usable relative
+//! signal; the paper-facing numbers come from the `report_*` binaries,
+//! which do their own timing.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup; the stub runs one setup per
+/// iteration regardless of variant.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// One setup per small batch.
+    SmallInput,
+    /// One setup per iteration.
+    LargeInput,
+}
+
+/// Identifier combining a function name and a parameter, e.g. `mark1/1000`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<F: Display, P: Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id for single-function groups.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` for the configured number of samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.timings.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Times `routine` on a fresh `setup()` value each sample; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.timings.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+fn report(id: &str, timings: &[Duration]) {
+    if timings.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let min = timings.iter().min().unwrap();
+    let total: Duration = timings.iter().sum();
+    let mean = total / timings.len() as u32;
+    println!(
+        "{id:<40} min {:>10.1?}  mean {:>10.1?}  ({} samples)",
+        min,
+        mean,
+        timings.len()
+    );
+}
+
+/// Group of related benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.samples,
+            timings: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b.timings);
+    }
+
+    /// Runs a benchmark identified by `id`.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.into(), |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(id.full.clone(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (marker only in the stub).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _parent: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: 10,
+            timings: Vec::new(),
+        };
+        f(&mut b);
+        report(id, &b.timings);
+        self
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,86 @@
+//! Offline stub of `crossbeam`, exposing the `channel` module surface this
+//! workspace uses (`unbounded`, `Sender`, `Receiver`). Backed by
+//! `std::sync::mpsc`, whose `Sender` has been `Sync` since Rust 1.72, so it
+//! can be shared across scoped threads exactly like crossbeam's.
+
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; fails only if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next value; fails when the channel is empty and
+        /// every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.inner.try_recv()
+        }
+    }
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::unbounded;
+
+        #[test]
+        fn cross_thread_send() {
+            let (tx, rx) = unbounded();
+            std::thread::scope(|scope| {
+                let tx2 = tx.clone();
+                scope.spawn(move || tx2.send(5).unwrap());
+                scope.spawn(|| tx.send(7).unwrap());
+                let a = rx.recv().unwrap();
+                let b = rx.recv().unwrap();
+                assert_eq!(a + b, 12);
+            });
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names (trait and derive-macro
+//! namespaces) that the workspace's `#[derive(...)]` attributes and `use
+//! serde::{Deserialize, Serialize}` imports refer to. The derives are
+//! no-ops; the traits are empty markers. Nothing in this repository
+//! serializes through serde — JSON emitted by the bench reports is written
+//! by hand (see `dgr-bench`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Empty marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Empty marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
