@@ -1,0 +1,141 @@
+//! Breadth-first exhaustive exploration of delivery interleavings.
+//!
+//! States are deduplicated on their full canonical encoding
+//! ([`crate::world::World::encode`]) — not a hash — so the pruning is
+//! sound: two states merge only when genuinely equal, and every reachable
+//! equivalence class is visited. Because the search is breadth-first, the
+//! first violation found has a minimal-length trace; parent links
+//! reconstruct it as an event list for [`crate::trace`].
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::faults::Fault;
+use crate::scenario::Scenario;
+use crate::trace::Counterexample;
+use crate::world::{Action, Ctx, Mode, World};
+
+/// Exploration budget.
+#[derive(Debug, Clone, Copy)]
+pub struct Bounds {
+    /// Maximum number of distinct states to store. Exceeding it marks the
+    /// report truncated (a truncated *clean* run fails CI: exhaustiveness
+    /// is the point).
+    pub max_states: usize,
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        Bounds {
+            max_states: 1_000_000,
+        }
+    }
+}
+
+/// Outcome of exploring one (scenario, mode, fault) combination.
+#[derive(Debug)]
+pub struct Report {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Interleaving mode.
+    pub mode: Mode,
+    /// Injected fault ([`Fault::None`] for clean runs).
+    pub fault: Fault,
+    /// Distinct states reached.
+    pub states: usize,
+    /// Transitions executed (including ones leading to already-seen
+    /// states).
+    pub transitions: usize,
+    /// Maximum BFS depth reached (longest event prefix explored).
+    pub depth: usize,
+    /// Distinct quiescent (terminal) states.
+    pub quiescent: usize,
+    /// Whether the state budget was exhausted before the frontier drained.
+    pub truncated: bool,
+    /// The minimal counterexample, if a check failed.
+    pub violation: Option<Counterexample>,
+}
+
+/// Explores every interleaving of the scenario under the given mode and
+/// fault, stopping at the first violation (whose BFS trace is minimal).
+pub fn explore(sc: Scenario, mode: Mode, fault: Fault, bounds: &Bounds) -> Report {
+    let ctx = Ctx::new(sc, mode, fault);
+    let w0 = World::init(&ctx);
+    let mut report = Report {
+        scenario: sc.name,
+        mode,
+        fault,
+        states: 1,
+        transitions: 0,
+        depth: 0,
+        quiescent: 0,
+        truncated: false,
+        violation: None,
+    };
+    if let Err(failure) = w0.check(&ctx) {
+        report.violation = Some(Counterexample {
+            scenario: sc.name,
+            mode,
+            fault,
+            events: Vec::new(),
+            failure,
+        });
+        return report;
+    }
+
+    // Parent links for counterexample reconstruction: node id → (parent
+    // id, action taken).
+    let mut parents: Vec<Option<(usize, Action)>> = vec![None];
+    let mut seen: HashMap<Vec<u8>, usize> = HashMap::new();
+    seen.insert(w0.encode(&ctx), 0);
+
+    let mut frontier: VecDeque<(usize, World, usize)> = VecDeque::new();
+    frontier.push_back((0, w0, 0));
+    while let Some((id, w, depth)) = frontier.pop_front() {
+        for a in w.enabled(&ctx) {
+            let mut w2 = w.clone();
+            report.transitions += 1;
+            match w2.step(&ctx, &a) {
+                Err(failure) => {
+                    report.violation = Some(Counterexample {
+                        scenario: sc.name,
+                        mode,
+                        fault,
+                        events: reconstruct(&parents, id, a),
+                        failure,
+                    });
+                    return report;
+                }
+                Ok(()) => {
+                    let key = w2.encode(&ctx);
+                    if seen.contains_key(&key) {
+                        continue;
+                    }
+                    if parents.len() >= bounds.max_states {
+                        report.truncated = true;
+                        continue;
+                    }
+                    let nid = parents.len();
+                    seen.insert(key, nid);
+                    parents.push(Some((id, a.clone())));
+                    report.states += 1;
+                    report.depth = report.depth.max(depth + 1);
+                    if w2.is_quiescent(&ctx) {
+                        report.quiescent += 1;
+                    }
+                    frontier.push_back((nid, w2, depth + 1));
+                }
+            }
+        }
+    }
+    report
+}
+
+fn reconstruct(parents: &[Option<(usize, Action)>], mut id: usize, last: Action) -> Vec<Action> {
+    let mut events = vec![last];
+    while let Some((p, a)) = &parents[id] {
+        events.push(a.clone());
+        id = *p;
+    }
+    events.reverse();
+    events
+}

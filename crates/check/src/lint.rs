@@ -1,0 +1,188 @@
+//! Repo-specific source lints, run in CI alongside the model checker.
+//!
+//! Three rules, all scoped to `crates/*/src` and the root `src/`:
+//!
+//! 1. **mark-word ordering** — a line touching the packed `(epoch, color)`
+//!    mark word (`r_words`, `core::threaded`'s lock-free probe target)
+//!    must not use `Ordering::Relaxed`: the release/acquire pairing on the
+//!    mark word is what publishes a vertex's marked state to other
+//!    workers.
+//! 2. **mark-state confinement** — direct mark-slot mutation
+//!    (`mark_mut` / `slot_mut` / `mark_at_mut`) is allowed only in the
+//!    graph crate itself, the handler/cooperation/compressed/threaded
+//!    modules of `dgr-core` (the sequential and lock-based handler
+//!    implementations), and the fault injector of this crate (whose job
+//!    is to play a buggy implementation). Test modules are exempt.
+//! 3. **no `unsafe`** — the workspace forbids `unsafe` outside `vendor/`;
+//!    this catches it even where a crate forgot its `forbid` attribute.
+//!
+//! The needles below are spelled with `concat!` so the lint does not flag
+//! its own source.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// The offending line, trimmed.
+    pub text: String,
+}
+
+const MARK_WORD: &str = concat!("r_w", "ords");
+const RELAXED: &str = concat!("Rel", "axed");
+const MUT_NEEDLES: [&str; 3] = [
+    concat!("mark_m", "ut("),
+    concat!("slot_m", "ut("),
+    concat!("mark_at_m", "ut("),
+];
+const UNSAFE_NEEDLES: [&str; 4] = [
+    concat!("uns", "afe {"),
+    concat!("uns", "afe fn"),
+    concat!("uns", "afe impl"),
+    concat!("uns", "afe trait"),
+];
+
+/// Files (repo-relative, `/`-separated) allowed to mutate mark slots
+/// directly. `crates/graph/src/` is prefix-matched: the graph crate owns
+/// the slots.
+const MUT_ALLOWLIST: [&str; 5] = [
+    "crates/core/src/handler.rs",
+    "crates/core/src/coop.rs",
+    "crates/core/src/compressed.rs",
+    "crates/core/src/threaded.rs",
+    "crates/check/src/faults.rs",
+];
+
+fn allowed_mut(rel: &str) -> bool {
+    rel.starts_with("crates/graph/src/") || MUT_ALLOWLIST.contains(&rel)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// The `src` directories the rules apply to, under `root`.
+fn src_dirs(root: &Path) -> Vec<PathBuf> {
+    let mut dirs = vec![root.join("src")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            let p = e.path().join("src");
+            if p.is_dir() {
+                dirs.push(p);
+            }
+        }
+    }
+    dirs
+}
+
+/// Runs all rules over the repository rooted at `root`; findings are
+/// sorted by file and line.
+pub fn run(root: &Path) -> Vec<Finding> {
+    let mut files = Vec::new();
+    for d in src_dirs(root) {
+        collect_rs(&d, &mut files);
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let mut in_tests = false;
+        for (i, l) in text.lines().enumerate() {
+            let t = l.trim();
+            // Everything from the test module on is exempt from the
+            // confinement rule (tests legitimately hand-construct states).
+            if t == "#[cfg(test)]" || t.starts_with("mod tests") {
+                in_tests = true;
+            }
+            if t.starts_with("//") {
+                continue;
+            }
+            if l.contains(MARK_WORD) && l.contains(RELAXED) {
+                findings.push(Finding {
+                    file: rel.clone(),
+                    line: i + 1,
+                    rule: "mark-word-relaxed",
+                    text: t.to_string(),
+                });
+            }
+            if !in_tests && !allowed_mut(&rel) && MUT_NEEDLES.iter().any(|n| l.contains(n)) {
+                findings.push(Finding {
+                    file: rel.clone(),
+                    line: i + 1,
+                    rule: "mark-state-confinement",
+                    text: t.to_string(),
+                });
+            }
+            if UNSAFE_NEEDLES.iter().any(|n| l.contains(n)) {
+                findings.push(Finding {
+                    file: rel.clone(),
+                    line: i + 1,
+                    rule: "no-unsafe",
+                    text: t.to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// The repository root, resolved from this crate's manifest directory.
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/check sits two levels below the repo root")
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repo_is_lint_clean() {
+        let findings = run(&repo_root());
+        assert!(findings.is_empty(), "repo lint findings: {:#?}", findings);
+    }
+
+    #[test]
+    fn rules_fire_on_bad_code() {
+        let dir = std::env::temp_dir().join("dgr-check-lint-fixture");
+        let src = dir.join("crates").join("evil").join("src");
+        fs::create_dir_all(&src).unwrap();
+        let bad = format!(
+            "fn f() {{\n    x.{}y, Ordering::{});\n    g.{}v, s).mt_cnt += 1;\n}}\n",
+            MARK_WORD, RELAXED, MUT_NEEDLES[0]
+        );
+        fs::write(src.join("evil.rs"), bad).unwrap();
+        let findings = run(&dir);
+        assert!(findings.iter().any(|f| f.rule == "mark-word-relaxed"));
+        assert!(findings.iter().any(|f| f.rule == "mark-state-confinement"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

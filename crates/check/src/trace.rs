@@ -1,0 +1,109 @@
+//! Counterexample traces: event-by-event replay scripts.
+//!
+//! A [`Counterexample`] is self-contained: scenario name, interleaving
+//! mode, injected fault, and the exact event sequence (breadth-first, so
+//! minimal in length). [`replay`] re-executes it deterministically and
+//! verifies the same violation fires on the final event — traces printed
+//! by CI are guaranteed re-runnable.
+
+use std::fmt::Write as _;
+
+use crate::faults::Fault;
+use crate::scenario::{self, MutAction};
+use crate::world::{Action, Ctx, Mode, World};
+
+/// A minimized, replayable violation trace.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Corpus scenario name ([`scenario::by_name`] resolves it).
+    pub scenario: &'static str,
+    /// Interleaving mode the violation was found under.
+    pub mode: Mode,
+    /// The injected fault (or [`Fault::None`] — a genuine protocol bug).
+    pub fault: Fault,
+    /// The event sequence; every prefix is violation-free, the last event
+    /// trips the checker.
+    pub events: Vec<Action>,
+    /// The checker's description of the violation.
+    pub failure: String,
+}
+
+impl Counterexample {
+    /// Renders the trace as an event-by-event replay script.
+    pub fn script(&self) -> String {
+        let built = scenario::by_name(self.scenario).map(|s| (s.build)());
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# scenario {} | mode {} | fault {} | {} event(s)",
+            self.scenario,
+            self.mode,
+            self.fault.name(),
+            self.events.len()
+        );
+        for (i, a) in self.events.iter().enumerate() {
+            match a {
+                Action::Deliver { pe, msg } => {
+                    let _ = writeln!(out, "{:>3}. deliver pe{pe}: {msg:?}", i + 1);
+                }
+                Action::Mutate { idx } => {
+                    let desc = built
+                        .as_ref()
+                        .and_then(|b| b.muts.get(*idx))
+                        .map_or(String::from("?"), describe_mut);
+                    let _ = writeln!(out, "{:>3}. mutate #{idx}: {desc}", i + 1);
+                }
+            }
+        }
+        let _ = writeln!(out, "  => {}", self.failure);
+        out
+    }
+}
+
+fn describe_mut(m: &MutAction) -> String {
+    match *m {
+        MutAction::AddReference { a, b, c } => format!("add-reference({a}, {b}, {c})"),
+        MutAction::DeleteReference { a, b } => format!("delete-reference({a}, {b})"),
+        MutAction::Dereference { x, y } => format!("dereference({x}, {y})"),
+        MutAction::AddRequester { v, from } => format!("add-requester({v} ← {from})"),
+        MutAction::GrowArc { from, to } => format!("grow-arc({from} → {to})"),
+        MutAction::Expand { at, .. } => format!("expand-node({at})"),
+    }
+}
+
+/// Re-executes a counterexample from the scenario's initial state and
+/// verifies the identical violation fires on the final event.
+///
+/// # Errors
+///
+/// Describes any divergence: unknown scenario, an event that was not
+/// enabled, an early violation, a different final violation, or no
+/// violation at all.
+pub fn replay(cx: &Counterexample) -> Result<(), String> {
+    let sc = scenario::by_name(cx.scenario)
+        .ok_or_else(|| format!("unknown scenario {:?}", cx.scenario))?;
+    let ctx = Ctx::new(sc, cx.mode, cx.fault);
+    let mut w = World::init(&ctx);
+    if cx.events.is_empty() {
+        return match w.check(&ctx) {
+            Err(e) if e == cx.failure => Ok(()),
+            Err(e) => Err(format!("initial state violates differently: {e}")),
+            Ok(()) => Err("initial state shows no violation".into()),
+        };
+    }
+    let last = cx.events.len() - 1;
+    for (i, a) in cx.events.iter().enumerate() {
+        match (w.step(&ctx, a), i == last) {
+            (Ok(()), false) => {}
+            (Ok(()), true) => {
+                return Err("replay reached the end without reproducing the violation".into())
+            }
+            (Err(e), true) if e == cx.failure => return Ok(()),
+            (Err(e), true) => return Err(format!("replay reproduced a different violation: {e}")),
+            (Err(e), false) => {
+                return Err(format!("replay violated early at event {}: {e}", i + 1))
+            }
+        }
+    }
+    unreachable!("loop returns on the last event");
+}

@@ -48,6 +48,29 @@ pub fn check_invariants(
     pending: &[MarkMsg],
     state: &MarkState,
 ) -> Result<(), String> {
+    check_invariants_where(g, slot, pending, state, |_, _| false)
+}
+
+/// [`check_invariants`] with an *exemption predicate* for invariants 1/2.
+///
+/// `M_T` has snapshot semantics: a T-arc grown out of an already-finished
+/// (T-marked) vertex deliberately spawns no mark ([`crate::coop::coop_t_arc`]),
+/// so `marked → unmarked` along such an arc is not a protocol violation —
+/// the deadlock report's activity screen covers it. Callers that track
+/// which arcs were created under those conditions (e.g. the model checker
+/// in `dgr-check`) pass them here as `exempt(parent, child)`; invariant 3
+/// is never exempted.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation found.
+pub fn check_invariants_where(
+    g: &GraphStore,
+    slot: Slot,
+    pending: &[MarkMsg],
+    state: &MarkState,
+    exempt: impl Fn(VertexId, VertexId) -> bool,
+) -> Result<(), String> {
     // Tally pending messages by marking-tree parent.
     let mut owed: HashMap<MarkParent, u32> = HashMap::new();
     let mut pending_mark_on: HashMap<VertexId, u32> = HashMap::new();
@@ -91,6 +114,9 @@ pub fn check_invariants(
             for c in children_of(g, slot, id) {
                 let cs = g.mark(c, slot);
                 if cs.is_unmarked() {
+                    if exempt(id, c) {
+                        continue;
+                    }
                     if s.is_marked() {
                         return Err(format!(
                             "invariant 2 violated: marked {id} points to unmarked {c} ({slot:?})"
@@ -262,6 +288,20 @@ mod tests {
         let state = MarkState::new();
         let err = check_invariants(&g, Slot::R, &[], &state).unwrap_err();
         assert!(err.contains("invariant 2"));
+    }
+
+    #[test]
+    fn exempt_edges_skip_invariants_1_and_2() {
+        // A marked vertex pointing at an unmarked child is a violation —
+        // unless the caller vouches for the arc (M_T snapshot semantics).
+        let mut g = GraphStore::with_capacity(2);
+        let v = g.alloc(NodeLabel::If).unwrap();
+        let c = g.alloc(NodeLabel::lit_int(0)).unwrap();
+        g.connect(v, c);
+        g.mark_mut(v, Slot::R).color = dgr_graph::Color::Marked;
+        let state = MarkState::new();
+        assert!(check_invariants(&g, Slot::R, &[], &state).is_err());
+        check_invariants_where(&g, Slot::R, &[], &state, |p, ch| p == v && ch == c).unwrap();
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Direct unit tests for `check_priority_closure`: the full 3/2/1
+//! downgrade-edge matrix on hand-marked two-vertex graphs, closure of
+//! real `M_R` runs on downgrade chains and upgrade diamonds, and
+//! detection of post-run corruption.
+
+use dgr_core::driver::{run_mark2, MarkRunConfig};
+use dgr_core::invariants::check_priority_closure;
+use dgr_graph::{Color, GraphStore, NodeLabel, Priority, RequestKind, Slot, VertexId};
+
+const PRIORS: [Priority; 3] = [Priority::Vital, Priority::Eager, Priority::Reserve];
+const KINDS: [Option<RequestKind>; 3] = [None, Some(RequestKind::Eager), Some(RequestKind::Vital)];
+
+/// Marks `v` in the R slot with the given priority, as a completed pass
+/// would leave it.
+fn mark(g: &mut GraphStore, v: VertexId, prior: Priority) {
+    let s = g.mark_mut(v, Slot::R);
+    s.color = Color::Marked;
+    s.prior = prior;
+}
+
+/// One marked parent, one arc of the given request kind, one child.
+fn pair(kind: Option<RequestKind>) -> (GraphStore, VertexId, VertexId) {
+    let mut g = GraphStore::with_capacity(2);
+    let p = g.alloc(NodeLabel::If).unwrap();
+    let c = g.alloc(NodeLabel::lit_int(0)).unwrap();
+    g.connect(p, c);
+    g.vertex_mut(p).set_request_kind(0, kind);
+    g.set_root(p);
+    (g, p, c)
+}
+
+/// Every (parent priority × arc kind × child priority) combination:
+/// closure demands `prior(c) ≥ min(prior(p), priority-of(kind))` — a
+/// vital parent's vital arc needs a vital child, while any reserve link
+/// (in the parent or on the arc) downgrades the requirement to 1.
+#[test]
+fn downgrade_edge_matrix() {
+    for pp in PRIORS {
+        for kind in KINDS {
+            for cp in PRIORS {
+                let (mut g, p, c) = pair(kind);
+                mark(&mut g, p, pp);
+                mark(&mut g, c, cp);
+                let need = pp.min(Priority::of_request(kind));
+                let got = check_priority_closure(&g);
+                if cp >= need {
+                    assert!(
+                        got.is_ok(),
+                        "parent {pp:?}, kind {kind:?}, child {cp:?}: \
+                         unexpected violation {got:?}"
+                    );
+                } else {
+                    let err = got.expect_err(&format!(
+                        "parent {pp:?}, kind {kind:?}, child {cp:?}: \
+                         closure should fail (needs ≥ {need:?})"
+                    ));
+                    assert!(err.contains("priority not closed"), "{err}");
+                }
+            }
+        }
+    }
+}
+
+/// A marked parent with an unmarked child is never closed, even through
+/// an unrequested (reserve) arc.
+#[test]
+fn unmarked_child_is_a_violation() {
+    for pp in PRIORS {
+        for kind in KINDS {
+            let (mut g, p, _c) = pair(kind);
+            mark(&mut g, p, pp);
+            let err = check_priority_closure(&g).expect_err("unmarked child must violate closure");
+            assert!(err.contains("priority not closed"), "{err}");
+        }
+    }
+}
+
+/// Unmarked vertices impose nothing: a graph where nothing is marked is
+/// trivially closed.
+#[test]
+fn unmarked_parents_impose_nothing() {
+    let (g, _p, _c) = pair(Some(RequestKind::Vital));
+    check_priority_closure(&g).unwrap();
+}
+
+/// `M_R` on a 3 → 2 → 1 downgrade chain ends closed, with the priorities
+/// stepping down exactly at the downgrading arcs.
+#[test]
+fn mark2_downgrade_chain_is_closed() {
+    let mut g = GraphStore::with_capacity(4);
+    let root = g.alloc(NodeLabel::If).unwrap();
+    let a = g.alloc(NodeLabel::If).unwrap();
+    let b = g.alloc(NodeLabel::If).unwrap();
+    let c = g.alloc(NodeLabel::lit_int(0)).unwrap();
+    g.connect(root, a);
+    g.vertex_mut(root)
+        .set_request_kind(0, Some(RequestKind::Vital));
+    g.connect(a, b);
+    g.vertex_mut(a)
+        .set_request_kind(0, Some(RequestKind::Eager));
+    g.connect(b, c);
+    g.set_root(root);
+
+    run_mark2(&mut g, &MarkRunConfig::default());
+    check_priority_closure(&g).unwrap();
+    let prior = |v| g.mark(v, Slot::R).prior;
+    assert_eq!(prior(root), Priority::Vital);
+    assert_eq!(prior(a), Priority::Vital);
+    assert_eq!(prior(b), Priority::Eager);
+    assert_eq!(prior(c), Priority::Reserve);
+}
+
+/// A diamond where one path is all-vital and the other downgrades: the
+/// shared sink takes the max over paths, and the result is still closed.
+#[test]
+fn mark2_upgrade_diamond_is_closed() {
+    let mut g = GraphStore::with_capacity(4);
+    let root = g.alloc(NodeLabel::If).unwrap();
+    let slow = g.alloc(NodeLabel::If).unwrap();
+    let sink = g.alloc(NodeLabel::lit_int(0)).unwrap();
+    g.connect(root, slow);
+    g.vertex_mut(root)
+        .set_request_kind(0, Some(RequestKind::Eager));
+    g.connect(slow, sink);
+    g.vertex_mut(slow)
+        .set_request_kind(0, Some(RequestKind::Eager));
+    g.connect(root, sink);
+    g.vertex_mut(root)
+        .set_request_kind(1, Some(RequestKind::Vital));
+    g.set_root(root);
+
+    run_mark2(&mut g, &MarkRunConfig::default());
+    check_priority_closure(&g).unwrap();
+    assert_eq!(g.mark(slow, Slot::R).prior, Priority::Eager);
+    assert_eq!(g.mark(sink, Slot::R).prior, Priority::Vital);
+}
+
+/// Corrupting one priority after a clean run is caught, naming the edge.
+#[test]
+fn detects_downgraded_vertex_after_run() {
+    let mut g = GraphStore::with_capacity(2);
+    let root = g.alloc(NodeLabel::If).unwrap();
+    let child = g.alloc(NodeLabel::lit_int(0)).unwrap();
+    g.connect(root, child);
+    g.vertex_mut(root)
+        .set_request_kind(0, Some(RequestKind::Vital));
+    g.set_root(root);
+
+    run_mark2(&mut g, &MarkRunConfig::default());
+    check_priority_closure(&g).unwrap();
+    g.mark_mut(child, Slot::R).prior = Priority::Reserve;
+    let err = check_priority_closure(&g).unwrap_err();
+    assert!(err.contains("priority not closed"), "{err}");
+}

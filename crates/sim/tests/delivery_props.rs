@@ -2,7 +2,8 @@
 //! every sent message exactly once, in a policy-consistent order, and the
 //! expunge/relane surgery preserves the rest of the pool.
 
-use dgr_graph::{PeId, Priority};
+use dgr_core::driver::{run_mark1, run_mark2, run_mark3, MarkRunConfig};
+use dgr_graph::{oracle, GraphStore, NodeLabel, PeId, Priority, RequestKind, Slot, VertexId};
 use dgr_sim::{DetSim, Envelope, Lane, SchedPolicy};
 use proptest::prelude::*;
 
@@ -24,6 +25,116 @@ fn lane_of(tag: u8) -> Lane {
         2 => Lane::Reduction(Priority::Vital),
         3 => Lane::Reduction(Priority::Eager),
         _ => Lane::Reduction(Priority::Reserve),
+    }
+}
+
+/// A small random graph with per-arc request kinds: `edges` are
+/// `(from, to, kind)` tuples over `n` vertices (kind 0 = unrequested,
+/// 1 = eager, 2 = vital), vertex 0 is the root.
+fn request_graph(n: usize, edges: &[(usize, usize, u8)]) -> GraphStore {
+    let mut g = GraphStore::with_capacity(n);
+    let ids: Vec<VertexId> = (0..n)
+        .map(|i| g.alloc(NodeLabel::lit_int(i as i64)).unwrap())
+        .collect();
+    for &(a, b, kind) in edges {
+        let (a, b) = (ids[a % n], ids[b % n]);
+        g.connect(a, b);
+        let i = g.vertex(a).args().len() - 1;
+        let kind = match kind % 3 {
+            0 => None,
+            1 => Some(RequestKind::Eager),
+            _ => Some(RequestKind::Vital),
+        };
+        g.vertex_mut(a).set_request_kind(i, kind);
+    }
+    g.set_root(ids[0]);
+    g
+}
+
+fn r_marks(g: &GraphStore) -> Vec<Option<Priority>> {
+    g.ids()
+        .map(|v| {
+            let s = g.mark(v, Slot::R);
+            s.is_marked().then_some(s.prior)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Real marking traffic through the simulator: under every scheduling
+    /// policy, `mark1` and `M_R` passes — with the paper's Invariants 1–3
+    /// checked by the driver after every delivered event — terminate and
+    /// mark exactly the oracle's reachable set, with `M_R` also assigning
+    /// every vertex the oracle's max-over-paths priority.
+    #[test]
+    fn marking_invariants_hold_under_every_policy(
+        edges in proptest::collection::vec((0usize..16, 0usize..16, 0u8..3), 0..48),
+        seed in 0u64..20,
+    ) {
+        let base = request_graph(16, &edges);
+        let want_r: Vec<bool> = {
+            let reach = oracle::reachable_r(&base);
+            base.ids().map(|v| reach.contains(v)).collect()
+        };
+        let want_prior = oracle::priorities(&base);
+        for policy in policies() {
+            let cfg = MarkRunConfig {
+                num_pes: 3,
+                policy,
+                seed,
+                check_invariants: true,
+                ..Default::default()
+            };
+            let mut g = base.clone();
+            run_mark1(&mut g, &cfg);
+            let got: Vec<bool> = g
+                .ids()
+                .map(|v| g.mark(v, Slot::R).is_marked())
+                .collect();
+            prop_assert_eq!(&got, &want_r, "mark1 under {:?}", policy);
+
+            let mut g = base.clone();
+            run_mark2(&mut g, &cfg);
+            let got = r_marks(&g);
+            prop_assert_eq!(&got, &want_prior, "M_R priorities under {:?}", policy);
+        }
+    }
+
+    /// Same for `M_T`: task-root seeds, per-event invariant checks, and a
+    /// final T-mark set equal to the oracle's task-reachable set.
+    #[test]
+    fn task_marking_invariants_hold_under_every_policy(
+        edges in proptest::collection::vec((0usize..12, 0usize..12, 0u8..3), 0..36),
+        seeds in proptest::collection::vec(0usize..12, 1..4),
+        seed in 0u64..20,
+    ) {
+        let base = request_graph(12, &edges);
+        let mut tasks = oracle::TaskEndpoints::new();
+        for &s in &seeds {
+            tasks.push_seed(VertexId::new(s as u32));
+        }
+        let want: Vec<bool> = {
+            let reach = oracle::reachable_t(&base, &tasks);
+            base.ids().map(|v| reach.contains(v)).collect()
+        };
+        for policy in policies() {
+            let cfg = MarkRunConfig {
+                num_pes: 3,
+                policy,
+                seed,
+                check_invariants: true,
+                ..Default::default()
+            };
+            let mut g = base.clone();
+            run_mark3(&mut g, &tasks, &cfg);
+            let got: Vec<bool> = g
+                .ids()
+                .map(|v| g.mark(v, Slot::T).is_marked())
+                .collect();
+            prop_assert_eq!(&got, &want, "M_T under {:?}", policy);
+        }
     }
 }
 

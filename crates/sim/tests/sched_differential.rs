@@ -6,7 +6,8 @@
 
 use std::collections::VecDeque;
 
-use dgr_graph::{PeId, Priority};
+use dgr_core::driver::{run_mark2, MarkRunConfig};
+use dgr_graph::{oracle, GraphStore, NodeLabel, PeId, Priority, RequestKind, Slot, VertexId};
 use dgr_sim::{DetSim, Envelope, Lane, SchedPolicy};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -178,6 +179,64 @@ fn lane_of(tag: u8) -> Lane {
         2 => Lane::Reduction(Priority::Vital),
         3 => Lane::Reduction(Priority::Eager),
         _ => Lane::Reduction(Priority::Reserve),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Schedule independence of the marking *outcome*: `M_R` run under
+    /// every policy, seed, and PE count produces the identical
+    /// per-vertex `(marked, priority)` result — the paper's claim that
+    /// delivery order never affects what gets marked — while the driver
+    /// checks Invariants 1–3 after every event.
+    #[test]
+    fn marking_outcome_is_schedule_independent(
+        edges in proptest::collection::vec((0usize..14, 0usize..14, 0u8..3), 1..40),
+        seed in 0u64..50,
+    ) {
+        let n = 14;
+        let mut base = GraphStore::with_capacity(n);
+        let ids: Vec<VertexId> = (0..n)
+            .map(|i| base.alloc(NodeLabel::lit_int(i as i64)).unwrap())
+            .collect();
+        for &(a, b, kind) in &edges {
+            let (a, b) = (ids[a % n], ids[b % n]);
+            base.connect(a, b);
+            let i = base.vertex(a).args().len() - 1;
+            let kind = match kind % 3 {
+                0 => None,
+                1 => Some(RequestKind::Eager),
+                _ => Some(RequestKind::Vital),
+            };
+            base.vertex_mut(a).set_request_kind(i, kind);
+        }
+        base.set_root(ids[0]);
+        let want: Vec<Option<Priority>> = {
+            let prior = oracle::priorities(&base);
+            base.ids().map(|v| prior[v.index()]).collect()
+        };
+        for policy in all_policies() {
+            for num_pes in [1u16, 4] {
+                let cfg = MarkRunConfig {
+                    num_pes,
+                    policy,
+                    seed,
+                    check_invariants: true,
+                    ..Default::default()
+                };
+                let mut g = base.clone();
+                run_mark2(&mut g, &cfg);
+                let got: Vec<Option<Priority>> = g
+                    .ids()
+                    .map(|v| {
+                        let s = g.mark(v, Slot::R);
+                        s.is_marked().then_some(s.prior)
+                    })
+                    .collect();
+                prop_assert_eq!(&got, &want, "policy {:?}, {} PEs, seed {}", policy, num_pes, seed);
+            }
+        }
     }
 }
 
