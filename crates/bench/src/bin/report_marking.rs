@@ -2,7 +2,7 @@
 //! quiescent graphs — correctness against the oracle and cost/shape of
 //! the marking wave across graph sizes, degrees and schedules.
 
-use dgr_bench::{f2, print_table, timed, write_json_records, JsonValue};
+use dgr_bench::{emit_json, f2, print_table, timed, JsonValue};
 use dgr_core::driver::{run_mark1, MarkRunConfig};
 use dgr_graph::{oracle, Slot};
 use dgr_sim::SchedPolicy;
@@ -127,8 +127,5 @@ fn main() {
         &rows,
     );
 
-    if json {
-        write_json_records("BENCH_marking.json", &records).expect("writing BENCH_marking.json");
-        println!("\nwrote BENCH_marking.json ({} records)", records.len());
-    }
+    emit_json(json, "BENCH_marking.json", &records);
 }

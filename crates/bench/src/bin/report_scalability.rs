@@ -7,7 +7,7 @@
 //! runtime's cross-PE message counts are reported instead, showing the
 //! communication the partitioning strategy induces.)
 
-use dgr_bench::{f2, print_table, timed, write_json_records, JsonValue};
+use dgr_bench::{emit_json, f2, print_table, timed, JsonValue};
 use dgr_core::driver::{run_mark1, run_mark1_bsp, MarkRunConfig};
 use dgr_core::threaded::{reset_shared_r, run_mark1_shared};
 use dgr_graph::PartitionStrategy;
@@ -128,9 +128,5 @@ fn main() {
          magnitude fewer cross-PE messages than hashed placement."
     );
 
-    if json {
-        write_json_records("BENCH_scalability.json", &records)
-            .expect("writing BENCH_scalability.json");
-        println!("\nwrote BENCH_scalability.json ({} records)", records.len());
-    }
+    emit_json(json, "BENCH_scalability.json", &records);
 }

@@ -11,6 +11,7 @@ use dgr_graph::{
     GraphStore, MarkParent, PartitionMap, PartitionStrategy, Priority, Slot, TaskEndpoints,
 };
 use dgr_sim::{DetSim, Envelope, Lane, SchedPolicy};
+use dgr_telemetry::{CounterId, Phase, Registry};
 use serde::{Deserialize, Serialize};
 
 use crate::handler::handle_mark;
@@ -81,6 +82,8 @@ fn run_pass(
     state: &mut MarkState,
     slot: Slot,
     initial: Vec<MarkMsg>,
+    phase: Phase,
+    telem: &Registry,
 ) -> MarkStats {
     let partition = PartitionMap::new(cfg.num_pes, g.capacity(), cfg.partition);
     let mut sim: DetSim<MarkMsg> = DetSim::new(cfg.num_pes, cfg.policy, cfg.seed);
@@ -89,24 +92,33 @@ fn run_pass(
     }
     let mut stats = MarkStats::default();
     let mut buf: Vec<MarkMsg> = Vec::new();
+    let _pass = telem.span(0, 0, phase, phase.name());
     while let Some((pe, _lane, msg)) = sim.next_event() {
         if msg.dest_vertex().map(|v| partition.pe_of(v)) != Some(pe) && msg.dest_vertex().is_some()
         {
             stats.remote_messages += 1;
         }
+        telem.pe(pe.raw()).inc(CounterId::MarkEvents);
         handle_mark(state, g, msg, &mut |m| buf.push(m));
         stats.events += 1;
         for m in buf.drain(..) {
             let env = route(&partition, m);
             if env.dst != pe {
                 stats.remote_messages += 1;
+                telem.pe(pe.raw()).inc(CounterId::SendsRemote);
+            } else {
+                telem.pe(pe.raw()).inc(CounterId::SendsLocal);
             }
             sim.send(env);
         }
         if cfg.check_invariants {
             let pending: Vec<MarkMsg> = sim.iter_pending().map(|(_, _, m)| *m).collect();
             if let Err(e) = check_invariants(g, slot, &pending, state) {
-                panic!("invariant violation after event {}: {e}", stats.events);
+                panic!(
+                    "invariant violation on PE {} after event {} (handling {msg:?}): {e}",
+                    pe.raw(),
+                    stats.events
+                );
             }
         }
     }
@@ -125,6 +137,17 @@ fn run_pass(
 /// Panics if the graph has no root, or if the pass drains without the
 /// `done` flag being set (which would indicate a broken invariant).
 pub fn run_mark1(g: &mut GraphStore, cfg: &MarkRunConfig) -> MarkStats {
+    run_mark1_with(g, cfg, &Registry::new(cfg.num_pes))
+}
+
+/// [`run_mark1`] with an explicit telemetry registry: the pass is wrapped
+/// in an `M_R` span and per-PE mark-event and local/remote send counters
+/// are recorded.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_mark1`].
+pub fn run_mark1_with(g: &mut GraphStore, cfg: &MarkRunConfig, telem: &Registry) -> MarkStats {
     let root = g.root().expect("marking needs a root");
     reset_slot(g, Slot::R);
     let mut state = MarkState::new();
@@ -138,6 +161,8 @@ pub fn run_mark1(g: &mut GraphStore, cfg: &MarkRunConfig) -> MarkStats {
             v: root,
             par: MarkParent::RootPar,
         }],
+        Phase::Mr,
+        telem,
     );
     assert!(state.r_done, "mark1 drained without termination signal");
     stats
@@ -150,6 +175,16 @@ pub fn run_mark1(g: &mut GraphStore, cfg: &MarkRunConfig) -> MarkStats {
 ///
 /// Panics if the graph has no root or termination is not signalled.
 pub fn run_mark2(g: &mut GraphStore, cfg: &MarkRunConfig) -> MarkStats {
+    run_mark2_with(g, cfg, &Registry::new(cfg.num_pes))
+}
+
+/// [`run_mark2`] with an explicit telemetry registry (see
+/// [`run_mark1_with`] for what is recorded).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_mark2`].
+pub fn run_mark2_with(g: &mut GraphStore, cfg: &MarkRunConfig, telem: &Registry) -> MarkStats {
     let root = g.root().expect("marking needs a root");
     reset_slot(g, Slot::R);
     let mut state = MarkState::new();
@@ -164,6 +199,8 @@ pub fn run_mark2(g: &mut GraphStore, cfg: &MarkRunConfig) -> MarkStats {
             par: MarkParent::RootPar,
             prior: Priority::Vital,
         }],
+        Phase::Mr,
+        telem,
     );
     assert!(state.r_done, "M_R drained without termination signal");
     stats
@@ -177,6 +214,21 @@ pub fn run_mark2(g: &mut GraphStore, cfg: &MarkRunConfig) -> MarkStats {
 ///
 /// Panics if termination is not signalled.
 pub fn run_mark3(g: &mut GraphStore, tasks: &TaskEndpoints, cfg: &MarkRunConfig) -> MarkStats {
+    run_mark3_with(g, tasks, cfg, &Registry::new(cfg.num_pes))
+}
+
+/// [`run_mark3`] with an explicit telemetry registry: the pass is wrapped
+/// in an `M_T` span with the same per-PE counters as [`run_mark1_with`].
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_mark3`].
+pub fn run_mark3_with(
+    g: &mut GraphStore,
+    tasks: &TaskEndpoints,
+    cfg: &MarkRunConfig,
+    telem: &Registry,
+) -> MarkStats {
     reset_slot(g, Slot::T);
     let mut state = MarkState::new();
     state.begin_t(tasks.seeds().len() as u32);
@@ -188,7 +240,7 @@ pub fn run_mark3(g: &mut GraphStore, tasks: &TaskEndpoints, cfg: &MarkRunConfig)
             par: MarkParent::TaskRootPar,
         })
         .collect();
-    let stats = run_pass(g, cfg, &mut state, Slot::T, initial);
+    let stats = run_pass(g, cfg, &mut state, Slot::T, initial, Phase::Mt, telem);
     assert!(state.t_done, "M_T drained without termination signal");
     stats
 }
@@ -214,6 +266,23 @@ pub struct BspStats {
 ///
 /// Panics if the graph has no root or termination is not signalled.
 pub fn run_mark1_bsp(g: &mut GraphStore, num_pes: u16, strategy: PartitionStrategy) -> BspStats {
+    run_mark1_bsp_with(g, num_pes, strategy, &Registry::new(num_pes))
+}
+
+/// [`run_mark1_bsp`] with an explicit telemetry registry: the pass is
+/// wrapped in an `M_R` span, each PE's executed tasks land in its
+/// mark-event counter, and every round emits an instant event carrying
+/// the number of tasks it executed.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_mark1_bsp`].
+pub fn run_mark1_bsp_with(
+    g: &mut GraphStore,
+    num_pes: u16,
+    strategy: PartitionStrategy,
+    telem: &Registry,
+) -> BspStats {
     use std::collections::VecDeque;
     let root = g.root().expect("marking needs a root");
     reset_slot(g, Slot::R);
@@ -235,16 +304,20 @@ pub fn run_mark1_bsp(g: &mut GraphStore, num_pes: u16, strategy: PartitionStrate
 
     let mut stats = BspStats::default();
     let mut buf: Vec<MarkMsg> = Vec::new();
+    let _pass = telem.span(0, 0, Phase::Mr, "bsp");
     while queues.iter().any(|q| !q.is_empty()) {
         stats.rounds += 1;
+        let round_start = stats.events;
         let mut staged: Vec<MarkMsg> = Vec::new();
-        for q in queues.iter_mut() {
+        for (pe, q) in queues.iter_mut().enumerate() {
             if let Some(m) = q.pop_front() {
+                telem.pe(pe as u16).inc(CounterId::MarkEvents);
                 handle_mark(&mut state, g, m, &mut |m| buf.push(m));
                 stats.events += 1;
                 staged.append(&mut buf);
             }
         }
+        telem.instant(0, 0, Phase::Mr, "bsp_round", stats.events - round_start);
         for m in staged {
             let pe = pe_of(&m);
             queues[pe].push_back(m);

@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use dgr_graph::{Color, GraphStore, MarkParent, PartitionMap, PartitionStrategy, Slot};
 use dgr_sim::{Envelope, Lane, SharedGraph, ThreadedRuntime};
+use dgr_telemetry::{CounterId, Phase, Registry};
 
 use crate::msg::MarkMsg;
 
@@ -100,6 +101,23 @@ pub fn run_mark1_shared(
     num_pes: u16,
     strategy: PartitionStrategy,
 ) -> ThreadedMarkStats {
+    run_mark1_shared_with(shared, num_pes, strategy, &Registry::new(num_pes))
+}
+
+/// [`run_mark1_shared`] with an explicit telemetry registry: the pass is
+/// wrapped in an `M_R` span, each PE's executed marking tasks land in its
+/// mark-event counter, and the underlying runtime records mailbox depth,
+/// batch sizes and park events per PE.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_mark1_shared`].
+pub fn run_mark1_shared_with(
+    shared: &SharedGraph,
+    num_pes: u16,
+    strategy: PartitionStrategy,
+    telem: &Registry,
+) -> ThreadedMarkStats {
     let root = shared.root().expect("marking needs a root");
     let partition = PartitionMap::new(num_pes, shared.capacity(), strategy);
     let done = AtomicBool::new(false);
@@ -108,7 +126,8 @@ pub fn run_mark1_shared(
     // it); every slot access below is normalized against it.
     let epoch = shared.mark_epoch(Slot::R);
 
-    let envelopes = ThreadedRuntime::new(num_pes).run(
+    let _pass = telem.span(0, 0, Phase::Mr, "mark1_threaded");
+    let envelopes = ThreadedRuntime::new(num_pes).run_with(
         vec![route(
             &partition,
             MarkMsg::Mark1 {
@@ -233,10 +252,14 @@ pub fn run_mark1_shared(
                         other => unreachable!("threaded mark1 pass received {other:?}"),
                     }
                 }
+                telem
+                    .pe(ctx.me().raw())
+                    .add(CounterId::MarkEvents, executed);
                 // Relaxed: read once after the runtime joins.
                 messages.fetch_add(executed, Ordering::Relaxed);
             });
         },
+        telem,
     );
     assert!(
         done.load(Ordering::Relaxed),

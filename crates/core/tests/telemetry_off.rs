@@ -1,0 +1,69 @@
+//! Pins the zero-cost contract of the default build: without the
+//! `telemetry` feature, the registry the marking hot loops are compiled
+//! against is a zero-sized no-op, so instrumentation can hide no atomics
+//! (or any state at all) behind the calls in `run_pass` and the threaded
+//! mark loop. The `telemetry`-on counterpart checks the same sites do
+//! record.
+
+use dgr_core::driver::{run_mark1_with, MarkRunConfig};
+use dgr_graph::{GraphStore, NodeLabel};
+use dgr_telemetry::{CounterId, Registry};
+
+fn chain(n: i64) -> GraphStore {
+    let mut g = GraphStore::with_capacity(n as usize);
+    let ids: Vec<_> = (0..n)
+        .map(|i| g.alloc(NodeLabel::lit_int(i)).unwrap())
+        .collect();
+    for w in ids.windows(2) {
+        g.connect(w[0], w[1]);
+    }
+    g.set_root(ids[0]);
+    g
+}
+
+#[cfg(not(feature = "telemetry"))]
+mod feature_off {
+    use super::*;
+
+    /// The registry type the mark hot loop was compiled against is
+    /// zero-sized — the type-layer proof that a default build carries no
+    /// telemetry atomics in the hot path.
+    #[test]
+    fn registry_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<Registry>(), 0);
+        assert_eq!(std::mem::size_of::<dgr_telemetry::PeShard>(), 0);
+        assert_eq!(std::mem::size_of::<dgr_telemetry::SpanGuard<'_>>(), 0);
+    }
+
+    #[test]
+    fn instrumented_pass_records_nothing() {
+        let telem = Registry::new(4);
+        let mut g = chain(32);
+        let stats = run_mark1_with(&mut g, &MarkRunConfig::default(), &telem);
+        assert_eq!(stats.marked, 32, "marking itself is unaffected");
+        assert_eq!(telem.snapshot().counter_total(CounterId::MarkEvents), 0);
+        assert!(telem.drain_events().is_empty());
+    }
+}
+
+#[cfg(feature = "telemetry")]
+mod feature_on {
+    use super::*;
+
+    #[test]
+    fn instrumented_pass_records_events_and_counters() {
+        let telem = Registry::new(4);
+        let mut g = chain(32);
+        let stats = run_mark1_with(&mut g, &MarkRunConfig::default(), &telem);
+        assert_eq!(
+            telem.snapshot().counter_total(CounterId::MarkEvents),
+            stats.events,
+            "every delivered marking event was counted"
+        );
+        let events = telem.drain_events();
+        assert!(
+            events.iter().any(|e| e.name == "M_R"),
+            "the pass span was recorded"
+        );
+    }
+}

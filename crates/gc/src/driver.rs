@@ -1,12 +1,20 @@
 //! The endless mark-and-restructure cycle, interleaved with reduction.
 
+use std::collections::VecDeque;
+use std::time::Instant;
+
 use dgr_core::{MarkMsg, RMode};
 use dgr_graph::{MarkParent, Priority, Requester, Slot, Value, VertexSet};
 use dgr_reduction::{RedMsg, RunOutcome, System};
 use dgr_sim::Lane;
+use dgr_telemetry::{CounterId, CycleReport as CycleTelemetry, Phase};
 
 use crate::classify::{classify_pending_tasks, deadlocked_vertices, garbage_vertices};
 use crate::report::{CycleReport, GcStats};
+
+/// Bound on the per-cycle telemetry timeline kept by [`GcDriver`]:
+/// long-running drivers retain the most recent this-many cycles.
+pub const TIMELINE_CAP: usize = 4096;
 
 /// Order of the two marking phases within a cycle.
 ///
@@ -81,6 +89,7 @@ pub struct GcDriver {
     cycle: u32,
     stats: GcStats,
     last_report: CycleReport,
+    timeline: VecDeque<CycleTelemetry>,
 }
 
 impl GcDriver {
@@ -92,7 +101,17 @@ impl GcDriver {
             cycle: 0,
             stats: GcStats::default(),
             last_report: CycleReport::default(),
+            timeline: VecDeque::new(),
         }
+    }
+
+    /// Per-cycle telemetry reports (phase wall-clock durations, message
+    /// tallies, marking census), oldest first. Bounded at
+    /// [`TIMELINE_CAP`] cycles: older entries are dropped. Durations and
+    /// marking counts are always populated; the message counters are zero
+    /// unless the `telemetry` feature is on.
+    pub fn timeline(&self) -> &VecDeque<CycleTelemetry> {
+        &self.timeline
     }
 
     /// Aggregate statistics so far.
@@ -157,6 +176,17 @@ impl GcDriver {
         };
         let run_mt = self.cfg.mt_every > 0 && (self.cycle - 1).is_multiple_of(self.cfg.mt_every);
         report.ran_mt = run_mt;
+        let cycle_start = Instant::now();
+        let snap0 = self.sys.telemetry().snapshot();
+        self.sys.sim_mut().reset_lane_high_water();
+        let mut telem = CycleTelemetry {
+            cycle: self.cycle,
+            ran_mt: run_mt,
+            ..Default::default()
+        };
+        self.sys
+            .telemetry()
+            .begin(0, self.cycle, Phase::Gc, "cycle");
         // Both marking processes stay *in force* (mutator cooperation
         // active) until restructuring completes: a vertex allocated and
         // spliced in after a process's `done` fired must still be colored,
@@ -165,16 +195,16 @@ impl GcDriver {
         match self.cfg.order {
             CycleOrder::TBeforeR => {
                 if run_mt {
-                    self.phase_t(&mut report);
+                    telem.mt_us = self.timed_phase(Phase::Mt, "M_T", &mut report, Self::phase_t);
                 }
                 if !report.aborted {
-                    self.phase_r(&mut report);
+                    telem.mr_us = self.timed_phase(Phase::Mr, "M_R", &mut report, Self::phase_r);
                 }
             }
             CycleOrder::RBeforeT => {
-                self.phase_r(&mut report);
+                telem.mr_us = self.timed_phase(Phase::Mr, "M_R", &mut report, Self::phase_r);
                 if run_mt && !report.aborted {
-                    self.phase_t(&mut report);
+                    telem.mt_us = self.timed_phase(Phase::Mt, "M_T", &mut report, Self::phase_t);
                 }
             }
         }
@@ -182,18 +212,95 @@ impl GcDriver {
         // phase's `done` flag (orphan marks hung on the virtual roots);
         // settle both before reading the marks.
         if !report.aborted {
+            self.sys
+                .telemetry()
+                .begin(0, self.cycle, Phase::Mr, "settle");
+            let t = Instant::now();
             self.drive_phase(&mut report, |s| {
                 s.mark_state.r_done && (!run_mt || s.mark_state.t_done)
             });
+            telem.settle_us = t.elapsed().as_micros() as u64;
+            self.sys.telemetry().end(0, self.cycle, Phase::Mr, "settle");
         }
         if !report.aborted {
+            self.sys
+                .telemetry()
+                .begin(0, self.cycle, Phase::Classify, "restructure");
+            let t = Instant::now();
             self.restructure(&mut report, run_mt);
+            telem.restructure_us = t.elapsed().as_micros() as u64;
+            self.sys
+                .telemetry()
+                .end(0, self.cycle, Phase::Classify, "restructure");
+        }
+        // M_R marks survive until the next cycle's reset: tally them by
+        // priority for the timeline (index 0 = vital / priority 3).
+        for v in self.sys.graph.live_ids() {
+            let s = self.sys.graph.mark(v, Slot::R);
+            if s.is_marked() {
+                telem.marked_by_priority[3 - s.prior as usize] += 1;
+            }
         }
         self.sys.mark_state.end_r();
         self.sys.mark_state.end_t();
+        self.sys.telemetry().end(0, self.cycle, Phase::Gc, "cycle");
+        telem.total_us = cycle_start.elapsed().as_micros() as u64;
+        telem.aborted = report.aborted;
+        telem.mark_events = report.mark_events;
+        telem.red_events_during_marking = report.reduction_events_during_marking;
+        telem.marked_t = report.marked_t;
+        telem.garbage = report.garbage;
+        telem.irrelevant = report.census.irrelevant;
+        telem.deadlocked = report.deadlocked.len();
+        telem.reclaimed = report.reclaimed;
+        telem.expunged = report.expunged;
+        telem.relaned = report.relaned;
+        telem.mark_backlog_hw = self.sys.sim().stats().lane_high_water(Lane::Marking) as u64;
+        let snap1 = self.sys.telemetry().snapshot();
+        telem.sends_local =
+            snap1.counter_total(CounterId::SendsLocal) - snap0.counter_total(CounterId::SendsLocal);
+        telem.sends_remote = snap1.counter_total(CounterId::SendsRemote)
+            - snap0.counter_total(CounterId::SendsRemote);
+        {
+            let reg = self.sys.telemetry();
+            let shard = reg.pe(0);
+            shard.add(CounterId::Reclaimed, report.reclaimed as u64);
+            shard.add(CounterId::Expunged, report.expunged as u64);
+            shard.add(CounterId::Relaned, report.relaned as u64);
+            reg.instant(
+                0,
+                self.cycle,
+                Phase::Gc,
+                "reclaimed",
+                report.reclaimed as u64,
+            );
+            reg.instant(0, self.cycle, Phase::Gc, "expunged", report.expunged as u64);
+            reg.instant(0, self.cycle, Phase::Gc, "relaned", report.relaned as u64);
+        }
+        if self.timeline.len() == TIMELINE_CAP {
+            self.timeline.pop_front();
+        }
+        self.timeline.push_back(telem);
         self.stats.absorb(&report);
         self.last_report = report.clone();
         report
+    }
+
+    /// Runs one marking phase wrapped in a telemetry span and a wall-clock
+    /// timer; returns the elapsed microseconds.
+    fn timed_phase(
+        &mut self,
+        phase: Phase,
+        name: &'static str,
+        report: &mut CycleReport,
+        f: fn(&mut Self, &mut CycleReport),
+    ) -> u64 {
+        self.sys.telemetry().begin(0, self.cycle, phase, name);
+        let t = Instant::now();
+        f(self, report);
+        let us = t.elapsed().as_micros() as u64;
+        self.sys.telemetry().end(0, self.cycle, phase, name);
+        us
     }
 
     /// Runs a marking phase: injects the seeds, then keeps delivering
@@ -318,6 +425,7 @@ impl GcDriver {
     fn restructure(&mut self, report: &mut CycleReport, ran_mt: bool) {
         report.census = classify_pending_tasks(&self.sys);
         let garbage: VertexSet = garbage_vertices(&self.sys.graph);
+        report.garbage = garbage.len();
         if ran_mt {
             report.deadlocked = deadlocked_vertices(&self.sys.graph);
         }
@@ -490,6 +598,56 @@ mod tests {
         assert!(gc.stats().reclaimed_total > 0, "garbage was reclaimed");
         assert_eq!(gc.stats().aborted_cycles, 0);
         assert!(gc.sys.graph.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn timeline_records_every_cycle() {
+        let sys = sum_system(40, SystemConfig::default());
+        let mut gc = GcDriver::new(
+            sys,
+            GcConfig {
+                period: 50,
+                ..Default::default()
+            },
+        );
+        gc.run();
+        assert_eq!(gc.timeline().len(), gc.stats().cycles as usize);
+        let last = gc.timeline().back().unwrap();
+        assert_eq!(last.cycle, gc.stats().cycles);
+        assert_eq!(last.marked_t, gc.last_report().marked_t);
+        assert_eq!(last.marked_r(), gc.last_report().marked_r);
+        assert_eq!(last.reclaimed, gc.last_report().reclaimed);
+        assert_eq!(last.garbage, gc.last_report().garbage);
+        // Marking happened, so the marking-lane backlog rose above the
+        // reset point at least once in some cycle (always-on sim stats).
+        assert!(gc.timeline().iter().any(|c| c.mark_backlog_hw > 0));
+        // The renderers accept a live report.
+        assert!(last.render_text().contains("cycle"));
+        assert!(last.render_json().starts_with('{'));
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn timeline_counts_messages_when_telemetry_is_on() {
+        let sys = sum_system(30, SystemConfig::default());
+        let mut gc = GcDriver::new(
+            sys,
+            GcConfig {
+                period: 40,
+                ..Default::default()
+            },
+        );
+        gc.run();
+        let sends: u64 = gc
+            .timeline()
+            .iter()
+            .map(|c| c.sends_local + c.sends_remote)
+            .sum();
+        assert!(sends > 0, "cycle phases attributed task sends");
+        let events = gc.sys.telemetry().drain_events();
+        assert!(events.iter().any(|e| e.name == "M_R"));
+        assert!(events.iter().any(|e| e.name == "cycle"));
+        assert!(events.iter().any(|e| e.name == "restructure"));
     }
 
     #[test]

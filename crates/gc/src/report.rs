@@ -24,6 +24,9 @@ pub struct CycleReport {
     pub reduction_events_during_marking: u64,
     /// Census of pending tasks at restructuring time.
     pub census: TaskCensus,
+    /// Garbage vertices identified by the marks (counted whether or not
+    /// `reclaim` is enabled).
+    pub garbage: usize,
     /// Garbage vertices returned to the free list.
     pub reclaimed: usize,
     /// Irrelevant tasks expunged from the pools.

@@ -6,6 +6,7 @@ use dgr_graph::{
     Value,
 };
 use dgr_sim::{DetSim, Envelope, Lane, SchedPolicy};
+use dgr_telemetry::{CounterId, Registry};
 
 use crate::engine::{handle_red, EngineCtx};
 use crate::msg::{RedMsg, SysMsg};
@@ -82,12 +83,22 @@ pub struct System {
     config: SystemConfig,
     sim: DetSim<SysMsg>,
     events: u64,
+    /// Telemetry registry (the zero-sized no-op unless the `telemetry`
+    /// feature is on): per-PE lane-delivery counters and local/remote
+    /// send attribution.
+    telem: Registry,
+    /// The PE whose task is currently dispatching — sends issued while
+    /// `Some(pe)` are attributed to that PE as local or remote; sends
+    /// with no executing task (external injection, GC driver seeds) are
+    /// not attributed.
+    executing: Option<dgr_graph::PeId>,
 }
 
 impl System {
     /// Creates a system over the given graph and templates.
     pub fn new(graph: GraphStore, templates: TemplateStore, config: SystemConfig) -> Self {
         let sim = DetSim::new(config.num_pes, config.policy, config.seed);
+        let telem = Registry::new(config.num_pes);
         System {
             graph,
             templates,
@@ -97,7 +108,15 @@ impl System {
             config,
             sim,
             events: 0,
+            telem,
+            executing: None,
         }
+    }
+
+    /// The system's telemetry registry (the zero-sized no-op in a default
+    /// build). GC drivers snapshot it around cycle phases.
+    pub fn telemetry(&self) -> &Registry {
+        &self.telem
     }
 
     /// The system configuration.
@@ -137,6 +156,7 @@ impl System {
             .dest_vertex()
             .map(|v| self.partition().pe_of(v))
             .unwrap_or(dgr_graph::PeId::new(0));
+        self.count_send(pe);
         self.sim
             .send(Envelope::new(pe, Lane::Reduction(prio), SysMsg::Red(msg)));
     }
@@ -147,8 +167,22 @@ impl System {
             .dest_vertex()
             .map(|v| self.partition().pe_of(v))
             .unwrap_or(dgr_graph::PeId::new(0));
+        self.count_send(pe);
         self.sim
             .send(Envelope::new(pe, Lane::Marking, SysMsg::Mark(msg)));
+    }
+
+    /// Attributes a send to the PE whose task is currently executing, as
+    /// local (same PE) or remote. Sends with no executing task (external
+    /// injection) are not counted.
+    fn count_send(&self, dst: dgr_graph::PeId) {
+        let Some(src) = self.executing else { return };
+        let id = if src == dst {
+            CounterId::SendsLocal
+        } else {
+            CounterId::SendsRemote
+        };
+        self.telem.pe(src.raw()).inc(id);
     }
 
     /// Spawns the initial task `<-, root>`.
@@ -171,10 +205,10 @@ impl System {
     /// Delivers and executes one task. Returns `false` if the system is
     /// quiescent.
     pub fn step(&mut self) -> bool {
-        let Some((_pe, _lane, msg)) = self.sim.next_event() else {
+        let Some((pe, lane, msg)) = self.sim.next_event() else {
             return false;
         };
-        self.dispatch(msg);
+        self.dispatch(pe, lane, msg);
         true
     }
 
@@ -184,15 +218,22 @@ impl System {
     /// service during a collection phase (the paper's Section 6 remark
     /// that marking tasks may take precedence at a vertex).
     pub fn step_lane(&mut self, lane: Lane) -> bool {
-        let Some((_pe, _lane, msg)) = self.sim.next_event_in_lane(lane) else {
+        let Some((pe, lane, msg)) = self.sim.next_event_in_lane(lane) else {
             return false;
         };
-        self.dispatch(msg);
+        self.dispatch(pe, lane, msg);
         true
     }
 
-    fn dispatch(&mut self, msg: SysMsg) {
+    fn dispatch(&mut self, pe: dgr_graph::PeId, lane: Lane, msg: SysMsg) {
         self.events += 1;
+        let shard = self.telem.pe(pe.raw());
+        match lane {
+            Lane::Marking => shard.inc(CounterId::MarkEvents),
+            Lane::Reduction(_) => shard.inc(CounterId::RedEvents),
+            Lane::Mutator => shard.inc(CounterId::MutEvents),
+        }
+        self.executing = Some(pe);
         match msg {
             SysMsg::Red(RedMsg::Return {
                 dst: Requester::External,
@@ -234,6 +275,7 @@ impl System {
                 }
             }
         }
+        self.executing = None;
     }
 
     /// Demands the root and runs until the result arrives, the system is

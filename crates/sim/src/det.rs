@@ -302,6 +302,13 @@ impl<M> DetSim<M> {
         for m in self.mirror.iter_mut() {
             m.make_contiguous().sort_unstable();
         }
+        let mut depths = [0usize; 5];
+        for lanes in &self.pes {
+            for (l, q) in lanes.iter().enumerate() {
+                depths[l] += q.len();
+            }
+        }
+        self.stats.set_lane_depths(depths);
     }
 
     /// Number of processing elements.
@@ -340,6 +347,13 @@ impl<M> DetSim<M> {
         &self.stats
     }
 
+    /// Restarts per-lane high-water tracking from the current backlogs —
+    /// called at marking-cycle boundaries so each cycle's report carries
+    /// its own backlog peak (see [`SimStats::lane_high_water`]).
+    pub fn reset_lane_high_water(&mut self) {
+        self.stats.reset_lane_high_water();
+    }
+
     /// Picks, removes and returns the next message per the policy, or
     /// `None` when the system is quiescent.
     pub fn next_event(&mut self) -> Option<(PeId, Lane, M)> {
@@ -362,7 +376,7 @@ impl<M> DetSim<M> {
         };
         self.pending -= 1;
         self.index_remove(pe.raw(), lane, seq);
-        self.stats.record_deliver(lane);
+        self.stats.record_deliver(pe.raw(), lane);
         Some((pe, lane, msg))
     }
 
@@ -470,7 +484,7 @@ impl<M> DetSim<M> {
         let (seq, msg) = self.pes[pe as usize][lane.index()].pop_front()?;
         self.pending -= 1;
         self.index_remove(pe, lane, seq);
-        self.stats.record_deliver(lane);
+        self.stats.record_deliver(pe, lane);
         Some((PeId::new(pe), lane, msg))
     }
 

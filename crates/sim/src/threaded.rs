@@ -10,10 +10,12 @@
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::TryRecvError;
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dgr_graph::PeId;
+use dgr_telemetry::{CounterId, GaugeId, HistId, Registry};
 
 use crate::msg::Envelope;
 
@@ -42,7 +44,7 @@ impl<M> WorkItem<M> {
 /// (global quiescence). This mirrors how the marking algorithm is its own
 /// termination detector — `done` becomes true — while the runtime-level
 /// counter catches handler bugs that would otherwise hang the system.
-pub struct ThreadCtx<M> {
+pub struct ThreadCtx<'t, M> {
     senders: Arc<Vec<Sender<WorkItem<M>>>>,
     /// In-flight work items (batches), **not** messages. Invariant: a
     /// batch is registered (fetch_add) before the item that spawned it is
@@ -53,12 +55,21 @@ pub struct ThreadCtx<M> {
     /// Per-destination staging buffers; drained by `flush`. Strictly
     /// thread-local (each worker owns its ctx), hence `RefCell`.
     outbox: RefCell<Vec<Vec<M>>>,
+    /// Telemetry registry — the zero-sized no-op unless the runtime was
+    /// entered through [`ThreadedRuntime::run_with`] in a `telemetry`
+    /// build, so every call through it compiles away by default.
+    telem: &'t Registry,
 }
 
-impl<M> ThreadCtx<M> {
+impl<M> ThreadCtx<'_, M> {
     /// Sends a message to another PE (or to this one). The message is
     /// staged and delivered when the current work item completes.
     pub fn send(&self, env: Envelope<M>) {
+        self.telem.pe(self.me.raw()).inc(if env.dst == self.me {
+            CounterId::SendsLocal
+        } else {
+            CounterId::SendsRemote
+        });
         self.outbox.borrow_mut()[env.dst.index()].push(env.msg);
     }
 
@@ -72,6 +83,16 @@ impl<M> ThreadCtx<M> {
                 continue;
             }
             let batch = std::mem::take(buf);
+            let shard = self.telem.pe(self.me.raw());
+            shard.inc(CounterId::Batches);
+            shard.observe(HistId::BatchSize, batch.len() as u64);
+            let depth = self
+                .telem
+                .pe(dst as u16)
+                .gauge_add(GaugeId::MailboxDepth, batch.len() as i64);
+            self.telem
+                .pe(dst as u16)
+                .gauge_max(GaugeId::MailboxHighWater, depth);
             // Relaxed suffices: this add is ordered before our caller's
             // fetch_sub on the same atomic (single modification order),
             // and the receiving worker observes the batch through the
@@ -93,6 +114,12 @@ impl<M> ThreadCtx<M> {
     /// Number of PEs in the system.
     pub fn num_pes(&self) -> usize {
         self.senders.len()
+    }
+
+    /// The telemetry registry the runtime was entered with (the no-op
+    /// registry under [`ThreadedRuntime::run`]).
+    pub fn telemetry(&self) -> &Registry {
+        self.telem
     }
 }
 
@@ -150,7 +177,22 @@ impl ThreadedRuntime {
     pub fn run<M, F>(&self, initial: Vec<Envelope<M>>, handler: F) -> u64
     where
         M: Send + 'static,
-        F: Fn(&ThreadCtx<M>, M) + Sync,
+        F: Fn(&ThreadCtx<'_, M>, M) + Sync,
+    {
+        self.run_with(initial, handler, &Registry::new(self.num_pes))
+    }
+
+    /// [`ThreadedRuntime::run`] with an explicit telemetry registry.
+    ///
+    /// Per work item, the destination PE's shard records handled-message
+    /// counts, mailbox depth (and its high-water mark), empty-mailbox
+    /// parks, batch counts/sizes, and local vs. remote sends. In a
+    /// default (no-`telemetry`) build the registry is the zero-sized
+    /// no-op and every recording call compiles away.
+    pub fn run_with<M, F>(&self, initial: Vec<Envelope<M>>, handler: F, telem: &Registry) -> u64
+    where
+        M: Send + 'static,
+        F: Fn(&ThreadCtx<'_, M>, M) + Sync,
     {
         let n = self.num_pes as usize;
         let mut senders = Vec::with_capacity(n);
@@ -176,6 +218,12 @@ impl ThreadedRuntime {
                 continue;
             }
             seeded = true;
+            let depth = telem
+                .pe(dst as u16)
+                .gauge_add(GaugeId::MailboxDepth, batch.len() as i64);
+            telem
+                .pe(dst as u16)
+                .gauge_max(GaugeId::MailboxHighWater, depth);
             pending.fetch_add(1, Ordering::SeqCst);
             senders[dst]
                 .send(WorkItem::from_batch(batch))
@@ -192,11 +240,29 @@ impl ThreadedRuntime {
                     pending: Arc::clone(&pending),
                     me: PeId::new(i as u16),
                     outbox: RefCell::new((0..n).map(|_| Vec::new()).collect()),
+                    telem,
                 };
                 let handler = &handler;
                 let handled_total = &handled_total;
                 scope.spawn(move || {
-                    while let Ok(item) = rx.recv() {
+                    loop {
+                        // With telemetry on, distinguish "work was already
+                        // waiting" from "the mailbox was empty and the
+                        // worker parked"; without it, `enabled()` is a
+                        // compile-time `false` and this is a plain recv.
+                        let received = if ctx.telem.enabled() {
+                            match rx.try_recv() {
+                                Ok(item) => Ok(item),
+                                Err(TryRecvError::Empty) => {
+                                    ctx.telem.pe(ctx.me.raw()).inc(CounterId::Parks);
+                                    rx.recv().map_err(|_| ())
+                                }
+                                Err(TryRecvError::Disconnected) => Err(()),
+                            }
+                        } else {
+                            rx.recv().map_err(|_| ())
+                        };
+                        let Ok(item) = received else { break };
                         let msgs = match item {
                             WorkItem::Stop => break,
                             WorkItem::Msg(m) => {
@@ -211,6 +277,9 @@ impl ThreadedRuntime {
                                 len
                             }
                         };
+                        let shard = ctx.telem.pe(ctx.me.raw());
+                        shard.add(CounterId::Tasks, msgs);
+                        shard.gauge_add(GaugeId::MailboxDepth, -(msgs as i64));
                         // Relaxed: only read after thread::scope joins,
                         // which synchronizes all workers' writes.
                         handled_total.fetch_add(msgs, Ordering::Relaxed);

@@ -1,0 +1,197 @@
+//! Identifiers for the fixed metric set and the phase tags.
+//!
+//! The registry deliberately uses a closed enum of metrics instead of
+//! string registration: a counter bump is then an array index plus one
+//! relaxed atomic add, with no hashing or locking on the hot path, and a
+//! snapshot is a plain array copy.
+
+/// Phase tag attached to spans and instant events.
+///
+/// `Mt`/`Mr` are the paper's two marking processes; `Classify` covers the
+/// restructuring work that reads the finished marks (GAR reclaim, IRR
+/// expunge, re-laning, deadlock report); `Mutate` is reduction work
+/// outside any marking phase; `Gc` tags whole-cycle bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// The task-marking process `M_T`.
+    Mt,
+    /// The priority-marking process `M_R`.
+    Mr,
+    /// Restructuring: classification and the actions taken on it.
+    Classify,
+    /// Mutator / reduction activity outside a marking phase.
+    Mutate,
+    /// Whole-cycle bookkeeping (cycle spans, settle, aborts).
+    Gc,
+}
+
+impl Phase {
+    /// Stable display name (also the JSON value).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Mt => "M_T",
+            Phase::Mr => "M_R",
+            Phase::Classify => "classify",
+            Phase::Mutate => "mutate",
+            Phase::Gc => "gc",
+        }
+    }
+}
+
+/// The fixed set of counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterId {
+    /// Messages handled by the threaded runtime (any kind).
+    Tasks,
+    /// Marking-lane deliveries (mark + return tasks).
+    MarkEvents,
+    /// Reduction-lane deliveries.
+    RedEvents,
+    /// Mutator-lane deliveries.
+    MutEvents,
+    /// Sends whose destination PE is the sending PE.
+    SendsLocal,
+    /// Sends that cross a PE boundary.
+    SendsRemote,
+    /// Cross-PE batches flushed by the threaded runtime.
+    Batches,
+    /// Times a threaded worker found its mailbox empty and parked.
+    Parks,
+    /// Garbage vertices reclaimed by restructuring.
+    Reclaimed,
+    /// Irrelevant tasks expunged by restructuring.
+    Expunged,
+    /// Pending tasks moved to a different priority lane.
+    Relaned,
+}
+
+impl CounterId {
+    /// Number of counters.
+    pub const COUNT: usize = 11;
+
+    /// Every counter, in `index` order.
+    pub const ALL: [CounterId; CounterId::COUNT] = [
+        CounterId::Tasks,
+        CounterId::MarkEvents,
+        CounterId::RedEvents,
+        CounterId::MutEvents,
+        CounterId::SendsLocal,
+        CounterId::SendsRemote,
+        CounterId::Batches,
+        CounterId::Parks,
+        CounterId::Reclaimed,
+        CounterId::Expunged,
+        CounterId::Relaned,
+    ];
+
+    /// Dense index into shard/snapshot arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name (also the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterId::Tasks => "tasks",
+            CounterId::MarkEvents => "mark_events",
+            CounterId::RedEvents => "red_events",
+            CounterId::MutEvents => "mut_events",
+            CounterId::SendsLocal => "sends_local",
+            CounterId::SendsRemote => "sends_remote",
+            CounterId::Batches => "batches",
+            CounterId::Parks => "parks",
+            CounterId::Reclaimed => "reclaimed",
+            CounterId::Expunged => "expunged",
+            CounterId::Relaned => "relaned",
+        }
+    }
+}
+
+/// The fixed set of gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GaugeId {
+    /// Pending messages in a PE's mailboxes right now.
+    MailboxDepth,
+    /// Largest mailbox depth observed (set with `gauge_max`).
+    MailboxHighWater,
+}
+
+impl GaugeId {
+    /// Number of gauges.
+    pub const COUNT: usize = 2;
+
+    /// Every gauge, in `index` order.
+    pub const ALL: [GaugeId; GaugeId::COUNT] = [GaugeId::MailboxDepth, GaugeId::MailboxHighWater];
+
+    /// Dense index into shard/snapshot arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name (also the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            GaugeId::MailboxDepth => "mailbox_depth",
+            GaugeId::MailboxHighWater => "mailbox_high_water",
+        }
+    }
+}
+
+/// The fixed set of histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HistId {
+    /// Messages per cross-PE batch in the threaded runtime.
+    BatchSize,
+    /// Wall microseconds per completed marking cycle.
+    CycleUs,
+}
+
+impl HistId {
+    /// Number of histograms.
+    pub const COUNT: usize = 2;
+
+    /// Every histogram, in `index` order.
+    pub const ALL: [HistId; HistId::COUNT] = [HistId::BatchSize, HistId::CycleUs];
+
+    /// Dense index into shard/snapshot arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name (also the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            HistId::BatchSize => "batch_size",
+            HistId::CycleUs => "cycle_us",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_match_all_order() {
+        for (i, c) in CounterId::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, g) in GaugeId::ALL.iter().enumerate() {
+            assert_eq!(g.index(), i);
+        }
+        for (i, h) in HistId::ALL.iter().enumerate() {
+            assert_eq!(h.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = CounterId::ALL.iter().map(|c| c.name()).collect();
+        names.extend(GaugeId::ALL.iter().map(|g| g.name()));
+        names.extend(HistId::ALL.iter().map(|h| h.name()));
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+}

@@ -1,0 +1,160 @@
+//! The zero-cost stand-in used when the `telemetry` feature is off.
+//!
+//! Every type here is zero-sized and every method an empty `#[inline]`
+//! body, so instrumentation calls compile away entirely — the marking
+//! hot loops carry **no atomics and no branches** from telemetry in a
+//! default build. The API mirrors [`active`](crate::active) exactly;
+//! `lib.rs` re-exports one or the other under the same names.
+
+use crate::ids::{CounterId, GaugeId, HistId, Phase};
+use crate::metrics::MetricsSnapshot;
+use crate::ring::Event;
+
+/// No-op counterpart of [`active::PeShard`](crate::active::PeShard).
+#[derive(Debug)]
+pub struct PeShard;
+
+impl PeShard {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn inc(&self, _id: CounterId) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(&self, _id: CounterId, _n: u64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn gauge_set(&self, _id: GaugeId, _v: i64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn gauge_max(&self, _id: GaugeId, _v: i64) {}
+
+    /// Does nothing; always returns 0.
+    #[inline(always)]
+    pub fn gauge_add(&self, _id: GaugeId, _d: i64) -> i64 {
+        0
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn observe(&self, _id: HistId, _v: u64) {}
+}
+
+/// No-op counterpart of [`active::Registry`](crate::active::Registry).
+#[derive(Debug)]
+pub struct Registry;
+
+impl Registry {
+    /// A no-op registry (ignores the PE count).
+    #[inline(always)]
+    pub fn new(_num_pes: u16) -> Self {
+        Registry
+    }
+
+    /// A no-op registry (ignores both arguments).
+    #[inline(always)]
+    pub fn with_capacity(_num_pes: u16, _ring_capacity: usize) -> Self {
+        Registry
+    }
+
+    /// `false`: nothing is recorded.
+    #[inline(always)]
+    pub fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn num_shards(&self) -> usize {
+        0
+    }
+
+    /// The shared zero-sized shard.
+    #[inline(always)]
+    pub fn pe(&self, _pe: u16) -> &PeShard {
+        &PeShard
+    }
+
+    /// Always 0 (no clock is read).
+    #[inline(always)]
+    pub fn now_us(&self) -> u64 {
+        0
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn begin(&self, _pe: u16, _cycle: u32, _phase: Phase, _name: &'static str) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn end(&self, _pe: u16, _cycle: u32, _phase: Phase, _name: &'static str) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn instant(&self, _pe: u16, _cycle: u32, _phase: Phase, _name: &'static str, _value: u64) {}
+
+    /// A zero-sized guard.
+    #[inline(always)]
+    pub fn span(&self, _pe: u16, _cycle: u32, _phase: Phase, _name: &'static str) -> SpanGuard<'_> {
+        SpanGuard(std::marker::PhantomData)
+    }
+
+    /// An empty snapshot.
+    #[inline(always)]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// Always empty.
+    #[inline(always)]
+    pub fn drain_events(&self) -> Vec<Event> {
+        Vec::new()
+    }
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn dropped_events(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op counterpart of [`active::SpanGuard`](crate::active::SpanGuard).
+#[derive(Debug)]
+pub struct SpanGuard<'a>(std::marker::PhantomData<&'a ()>);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The type-layer guarantee the `telemetry`-off build relies on: the
+    /// no-op registry, shard and span guard occupy zero bytes, so no
+    /// atomics (or any state at all) can hide behind an instrumentation
+    /// call compiled against them.
+    #[test]
+    fn noop_types_are_zero_sized() {
+        assert_eq!(std::mem::size_of::<Registry>(), 0);
+        assert_eq!(std::mem::size_of::<PeShard>(), 0);
+        assert_eq!(std::mem::size_of::<SpanGuard<'_>>(), 0);
+    }
+
+    #[test]
+    fn noop_api_observes_nothing() {
+        let r = Registry::new(4);
+        assert!(!r.enabled());
+        r.pe(0).inc(CounterId::MarkEvents);
+        r.pe(1).add(CounterId::SendsRemote, 10);
+        r.pe(2).observe(HistId::BatchSize, 3);
+        r.begin(0, 1, Phase::Mr, "M_R");
+        r.instant(0, 1, Phase::Mr, "marked", 7);
+        r.end(0, 1, Phase::Mr, "M_R");
+        {
+            let _g = r.span(0, 1, Phase::Gc, "cycle");
+        }
+        assert_eq!(r.snapshot().merged().counter(CounterId::MarkEvents), 0);
+        assert!(r.drain_events().is_empty());
+        assert_eq!(r.dropped_events(), 0);
+        assert_eq!(r.now_us(), 0);
+    }
+}

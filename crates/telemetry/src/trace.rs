@@ -1,0 +1,136 @@
+//! Exporters for drained events: JSONL and Chrome `trace_event`.
+//!
+//! JSON is rendered by hand — the vendored `serde` is a no-op marker
+//! stub, and the formats here are small and fixed. The Chrome format is
+//! the "JSON Object Format" understood by `chrome://tracing` and Perfetto:
+//! a `traceEvents` array of `B`/`E`/`i` records, with the PE mapped to
+//! the thread id so each PE renders as one flame-graph track.
+
+use crate::ring::{Event, EventKind};
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders events as JSON Lines: one event object per line, in input
+/// order.
+pub fn events_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&format!(
+            "{{\"ts_us\": {}, \"pe\": {}, \"cycle\": {}, \"phase\": \"{}\", \
+             \"kind\": \"{}\", \"name\": \"{}\", \"value\": {}}}\n",
+            e.ts_us,
+            e.pe,
+            e.cycle,
+            e.phase.name(),
+            e.kind.name(),
+            json_escape(e.name),
+            e.value,
+        ));
+    }
+    out
+}
+
+/// Renders events in Chrome `trace_event` JSON Object Format.
+///
+/// Events are stably sorted by timestamp (the loader requires
+/// monotonically non-decreasing `ts` per track; stability preserves
+/// begin/end nesting at equal timestamps). Spans become `B`/`E` pairs and
+/// instants become `i` records scoped to their thread; `pid` is 0 and
+/// `tid` is the PE id.
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    let mut sorted: Vec<&Event> = events.iter().collect();
+    sorted.sort_by_key(|e| e.ts_us);
+    let mut out = String::from("{\"traceEvents\": [\n");
+    for (i, e) in sorted.iter().enumerate() {
+        let ph = match e.kind {
+            EventKind::Begin => "B",
+            EventKind::End => "E",
+            EventKind::Instant => "i",
+        };
+        let scope = if e.kind == EventKind::Instant {
+            ", \"s\": \"t\""
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"{}\", \"ts\": {}, \
+             \"pid\": 0, \"tid\": {}{}, \"args\": {{\"cycle\": {}, \"value\": {}}}}}{}\n",
+            json_escape(e.name),
+            e.phase.name(),
+            ph,
+            e.ts_us,
+            e.pe,
+            scope,
+            e.cycle,
+            e.value,
+            if i + 1 < sorted.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Phase;
+
+    fn ev(ts: u64, pe: u16, kind: EventKind, name: &'static str) -> Event {
+        Event {
+            ts_us: ts,
+            pe,
+            cycle: 3,
+            phase: Phase::Mr,
+            kind,
+            name,
+            value: 5,
+        }
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let evs = [
+            ev(1, 0, EventKind::Begin, "M_R"),
+            ev(2, 0, EventKind::End, "M_R"),
+        ];
+        let s = events_jsonl(&evs);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.starts_with(
+            "{\"ts_us\": 1, \"pe\": 0, \"cycle\": 3, \"phase\": \"M_R\", \
+             \"kind\": \"begin\", \"name\": \"M_R\", \"value\": 5}"
+        ));
+    }
+
+    #[test]
+    fn chrome_trace_sorts_by_ts_and_scopes_instants() {
+        let evs = [
+            ev(9, 1, EventKind::Instant, "late"),
+            ev(1, 0, EventKind::Begin, "span"),
+            ev(4, 0, EventKind::End, "span"),
+        ];
+        let s = chrome_trace_json(&evs);
+        let b = s.find("\"ph\": \"B\"").unwrap();
+        let e = s.find("\"ph\": \"E\"").unwrap();
+        let i = s.find("\"ph\": \"i\"").unwrap();
+        assert!(b < e && e < i, "records ordered by ts");
+        assert!(s.contains("\"s\": \"t\""), "instants carry a scope");
+        assert!(s.contains("\"tid\": 1"), "pe becomes the thread id");
+    }
+
+    #[test]
+    fn escaping_is_applied() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+}

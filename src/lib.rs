@@ -19,6 +19,7 @@
 //! | [`lang`] | `dgr-lang` | mini functional language → supercombinator templates |
 //! | [`workloads`] | `dgr-workloads` | graph/program/churn/mutation generators |
 //! | [`baseline`] | `dgr-baseline` | reference counting, stop-the-world, non-cooperating marking |
+//! | [`telemetry`] | `dgr-telemetry` | zero-dependency metrics, traces, cycle timelines (feature `telemetry`) |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@ pub use dgr_graph as graph;
 pub use dgr_lang as lang;
 pub use dgr_reduction as reduction;
 pub use dgr_sim as sim;
+pub use dgr_telemetry as telemetry;
 pub use dgr_workloads as workloads;
 
 /// The most commonly used types, for glob import.
