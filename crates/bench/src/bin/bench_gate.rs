@@ -1,0 +1,142 @@
+//! Bench regression gate: diffs a freshly generated `BENCH_*.json`
+//! against the committed baseline.
+//!
+//! ```text
+//! bench_gate <baseline.json> <fresh.json> [--tolerance-pct N]
+//! ```
+//!
+//! Records are keyed by `(benchmark, vertices, pes)`. Message counts are
+//! deterministic (fixed seeds, fixed schedules) and must match exactly;
+//! `wall_us` may drift up to the tolerance (default 50% — shared CI
+//! runners are noisy; tighten locally with `--tolerance-pct 15`). The
+//! committed baselines are hot-path numbers: regenerate the fresh side
+//! with `--no-default-features` (telemetry off), since recording and
+//! flow stamping carry a real, intended cost the gate must not count as
+//! a regression. Exit
+//! code is non-zero on any regression, missing record, or count
+//! mismatch, so CI can surface it — the workflow step is marked
+//! non-blocking and the exit code shows up as an annotation rather than
+//! a failed build.
+
+use std::process::ExitCode;
+
+/// One benchmark record: identity key plus the two measures we gate.
+#[derive(Debug, Clone, PartialEq)]
+struct Record {
+    key: String,
+    messages: u64,
+    wall_us: f64,
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let rest = line[at..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+fn parse(path: &str) -> Result<Vec<Record>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut out = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.contains("\"benchmark\"") {
+            continue;
+        }
+        let (Some(bench), Some(messages), Some(wall)) = (
+            field(line, "benchmark"),
+            field(line, "messages").and_then(|v| v.parse::<u64>().ok()),
+            field(line, "wall_us").and_then(|v| v.parse::<f64>().ok()),
+        ) else {
+            continue;
+        };
+        let vertices = field(line, "vertices").unwrap_or("?");
+        let pes = field(line, "pes").unwrap_or("?");
+        out.push(Record {
+            key: format!("{bench}/v{vertices}/pe{pes}"),
+            messages,
+            wall_us: wall,
+        });
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no benchmark records found"));
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tolerance_pct: f64 = args
+        .iter()
+        .position(|a| a == "--tolerance-pct")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50.0);
+    let files: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && a.parse::<f64>().is_err())
+        .collect();
+    let [baseline_path, fresh_path] = files[..] else {
+        eprintln!("usage: bench_gate <baseline.json> <fresh.json> [--tolerance-pct N]");
+        return ExitCode::FAILURE;
+    };
+    let (baseline, fresh) = match (parse(baseline_path), parse(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for e in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("{e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("bench gate: {fresh_path} vs baseline {baseline_path} (tolerance {tolerance_pct}%)");
+    println!(
+        "{:<44} {:>12} {:>12} {:>8}  status",
+        "benchmark", "base us", "fresh us", "delta"
+    );
+    let mut failures = 0u32;
+    for base in &baseline {
+        let Some(new) = fresh.iter().find(|r| r.key == base.key) else {
+            println!(
+                "{:<44} {:>12} {:>12} {:>8}  MISSING",
+                base.key, base.wall_us, "-", "-"
+            );
+            failures += 1;
+            continue;
+        };
+        let delta_pct = if base.wall_us > 0.0 {
+            (new.wall_us - base.wall_us) / base.wall_us * 100.0
+        } else {
+            0.0
+        };
+        let status = if new.messages != base.messages {
+            failures += 1;
+            format!("COUNT {} != {}", new.messages, base.messages)
+        } else if delta_pct > tolerance_pct {
+            failures += 1;
+            "REGRESSED".to_string()
+        } else {
+            "ok".to_string()
+        };
+        println!(
+            "{:<44} {:>12.1} {:>12.1} {:>+7.1}%  {status}",
+            base.key, base.wall_us, new.wall_us, delta_pct
+        );
+    }
+    for new in &fresh {
+        if !baseline.iter().any(|r| r.key == new.key) {
+            println!(
+                "{:<44} {:>12} {:>12.1} {:>8}  NEW (not gated)",
+                new.key, "-", new.wall_us, "-"
+            );
+        }
+    }
+    if failures > 0 {
+        eprintln!("bench gate: {failures} regression(s) beyond {tolerance_pct}%");
+        return ExitCode::FAILURE;
+    }
+    println!("bench gate: all within tolerance");
+    ExitCode::SUCCESS
+}

@@ -76,6 +76,35 @@ pub fn route(partition: &PartitionMap, msg: MarkMsg) -> Envelope<MarkMsg> {
     Envelope::new(pe, Lane::Marking, msg)
 }
 
+/// Phase tag and flow-event name for a marking message, by slot: the
+/// `M_T` wave and the `M_R` wave get distinct names so the analyzer can
+/// histogram their fan-outs separately (Theorem 2 orders them).
+fn flow_meta(m: &MarkMsg) -> (Phase, &'static str) {
+    match m.slot() {
+        Slot::T => (Phase::Mt, "M_T"),
+        Slot::R => (Phase::Mr, "M_R"),
+    }
+}
+
+/// Dumps the flight recorder (event-ring tail, metrics snapshot, every
+/// undelivered message) next to the process, then panics with `reason`.
+/// The dump works with telemetry off too — the in-flight set comes from
+/// the simulator, the rings are just empty.
+fn flight_dump_and_panic(reason: String, pe: u16, telem: &Registry, sim: &DetSim<MarkMsg>) -> ! {
+    let in_flight: Vec<String> = sim
+        .iter_pending()
+        .map(|(p, l, m)| format!("pe={} lane={l:?} {m:?}", p.raw()))
+        .collect();
+    let dropped = telem.dropped_events();
+    let events = telem.drain_events();
+    match dgr_telemetry::write_flight(&reason, pe, &events, dropped, &telem.snapshot(), &in_flight)
+    {
+        Ok(path) => eprintln!("flight recorder: wrote {}", path.display()),
+        Err(e) => eprintln!("flight recorder: dump failed: {e}"),
+    }
+    panic!("{reason}");
+}
+
 fn run_pass(
     g: &mut GraphStore,
     cfg: &MarkRunConfig,
@@ -88,20 +117,26 @@ fn run_pass(
     let partition = PartitionMap::new(cfg.num_pes, g.capacity(), cfg.partition);
     let mut sim: DetSim<MarkMsg> = DetSim::new(cfg.num_pes, cfg.policy, cfg.seed);
     for m in initial {
-        sim.send(route(&partition, m));
+        // Seeds originate on PE 0, where the marking process starts.
+        let (fphase, fname) = flow_meta(&m);
+        let seq = sim.send(route(&partition, m));
+        telem.flow_send(0, 0, fphase, fname, seq + 1);
     }
     let mut stats = MarkStats::default();
     let mut buf: Vec<MarkMsg> = Vec::new();
     let _pass = telem.span(0, 0, phase, phase.name());
-    while let Some((pe, _lane, msg)) = sim.next_event() {
+    while let Some((pe, _lane, seq, msg)) = sim.next_event_tagged() {
         if msg.dest_vertex().map(|v| partition.pe_of(v)) != Some(pe) && msg.dest_vertex().is_some()
         {
             stats.remote_messages += 1;
         }
+        let (fphase, fname) = flow_meta(&msg);
+        telem.flow_recv(pe.raw(), 0, fphase, fname, seq + 1);
         telem.pe(pe.raw()).inc(CounterId::MarkEvents);
         handle_mark(state, g, msg, &mut |m| buf.push(m));
         stats.events += 1;
         for m in buf.drain(..) {
+            let (fphase, fname) = flow_meta(&m);
             let env = route(&partition, m);
             if env.dst != pe {
                 stats.remote_messages += 1;
@@ -109,15 +144,21 @@ fn run_pass(
             } else {
                 telem.pe(pe.raw()).inc(CounterId::SendsLocal);
             }
-            sim.send(env);
+            let seq = sim.send(env);
+            telem.flow_send(pe.raw(), 0, fphase, fname, seq + 1);
         }
         if cfg.check_invariants {
             let pending: Vec<MarkMsg> = sim.iter_pending().map(|(_, _, m)| *m).collect();
             if let Err(e) = check_invariants(g, slot, &pending, state) {
-                panic!(
-                    "invariant violation on PE {} after event {} (handling {msg:?}): {e}",
+                flight_dump_and_panic(
+                    format!(
+                        "invariant violation on PE {} after event {} (handling {msg:?}): {e}",
+                        pe.raw(),
+                        stats.events
+                    ),
                     pe.raw(),
-                    stats.events
+                    telem,
+                    &sim,
                 );
             }
         }

@@ -261,10 +261,19 @@ pub fn run_mark1_shared_with(
         },
         telem,
     );
-    assert!(
-        done.load(Ordering::Relaxed),
-        "quiescent without termination signal"
-    );
+    if !done.load(Ordering::Relaxed) {
+        // Flight-record before panicking: the runtime is quiescent, so
+        // the in-flight set is empty — the event-ring tail and counters
+        // are what's left to explain the missing termination signal.
+        let reason = "quiescent without termination signal";
+        let dropped = telem.dropped_events();
+        let events = telem.drain_events();
+        match dgr_telemetry::write_flight(reason, 0, &events, dropped, &telem.snapshot(), &[]) {
+            Ok(path) => eprintln!("flight recorder: wrote {}", path.display()),
+            Err(e) => eprintln!("flight recorder: dump failed: {e}"),
+        }
+        panic!("{reason}");
+    }
     ThreadedMarkStats {
         messages: messages.load(Ordering::Relaxed),
         envelopes,

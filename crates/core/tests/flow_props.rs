@@ -1,0 +1,111 @@
+//! Property: causal flow stamping is a perfect matching. Over random
+//! graphs, partitions and randomized schedules in the deterministic
+//! simulator, every `flow_recv` the marking pass records resolves
+//! exactly one prior `flow_send` — no orphan deliveries, no duplicated
+//! or reused edges — and Lamport clocks respect the send/recv order.
+//!
+//! Without the `telemetry` feature the same drive records nothing at
+//! all, which the property also pins (the stamping must compile away,
+//! not half-record).
+
+use std::collections::HashMap;
+
+use dgr_core::driver::{run_mark1_with, MarkRunConfig};
+use dgr_graph::{GraphStore, NodeLabel, PartitionStrategy};
+use dgr_sim::SchedPolicy;
+use dgr_telemetry::{EventKind, Registry, TELEMETRY_ENABLED};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomGraph {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = RandomGraph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..n * 3)
+            .prop_map(move |edges| RandomGraph { n, edges })
+    })
+}
+
+fn build(rg: &RandomGraph) -> GraphStore {
+    let mut g = GraphStore::with_capacity(rg.n);
+    let ids: Vec<_> = (0..rg.n)
+        .map(|i| g.alloc(NodeLabel::lit_int(i as i64)).unwrap())
+        .collect();
+    for &(a, b) in &rg.edges {
+        g.connect(ids[a], ids[b]);
+    }
+    g.set_root(ids[0]);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_every_delivery_resolves_exactly_one_prior_send(
+        rg in graph_strategy(40),
+        seed in 0u64..500,
+        pes in 1u16..6,
+    ) {
+        let mut g = build(&rg);
+        let telem = Registry::new(pes);
+        let cfg = MarkRunConfig {
+            num_pes: pes,
+            policy: SchedPolicy::Random { marking_bias: 0.5 },
+            seed,
+            partition: PartitionStrategy::Modulo,
+            check_invariants: false,
+        };
+        let stats = run_mark1_with(&mut g, &cfg, &telem);
+        let events = telem.drain_events();
+        if !TELEMETRY_ENABLED {
+            prop_assert!(events.is_empty(), "off build must record nothing");
+            return Ok(());
+        }
+
+        // Collect the flow endpoints. Ids must be unique per kind
+        // (no reused edges) and pair one-to-one.
+        let mut sends: HashMap<u64, u64> = HashMap::new(); // id -> lamport
+        let mut recvs: HashMap<u64, u64> = HashMap::new();
+        for e in &events {
+            match e.kind {
+                EventKind::FlowSend => {
+                    prop_assert!(
+                        sends.insert(e.value, e.lamport).is_none(),
+                        "flow id {} stamped on two sends", e.value
+                    );
+                }
+                EventKind::FlowRecv => {
+                    prop_assert!(
+                        recvs.insert(e.value, e.lamport).is_none(),
+                        "flow id {} resolved twice", e.value
+                    );
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(
+            sends.len(),
+            stats.events as usize,
+            "one flow per delivered marking event"
+        );
+        for (id, recv_lamport) in &recvs {
+            let send_lamport = sends.get(id);
+            prop_assert!(
+                send_lamport.is_some(),
+                "delivery of flow {} has no prior send", id
+            );
+            prop_assert!(
+                recv_lamport > send_lamport.unwrap(),
+                "flow {}: recv lamport {} not after send lamport {}",
+                id, recv_lamport, send_lamport.unwrap()
+            );
+        }
+        // The pass runs to quiescence, so nothing stays in flight.
+        prop_assert_eq!(sends.len(), recvs.len(), "every send was delivered");
+        prop_assert_eq!(telem.flows_in_flight(), 0);
+    }
+}

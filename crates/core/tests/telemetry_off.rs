@@ -35,6 +35,21 @@ mod feature_off {
         assert_eq!(std::mem::size_of::<dgr_telemetry::SpanGuard<'_>>(), 0);
     }
 
+    /// Flow stamping adds no bytes to hot-path messages: the causal tag
+    /// the threaded runtime pairs with every work item is zero-sized, so
+    /// the `(FlowTag, MarkMsg)` it queues has the layout of the bare
+    /// message.
+    #[test]
+    fn flow_tags_add_nothing_to_messages() {
+        use dgr_core::MarkMsg;
+        use dgr_telemetry::FlowTag;
+        assert_eq!(std::mem::size_of::<FlowTag>(), 0);
+        assert_eq!(
+            std::mem::size_of::<(FlowTag, MarkMsg)>(),
+            std::mem::size_of::<MarkMsg>()
+        );
+    }
+
     #[test]
     fn instrumented_pass_records_nothing() {
         let telem = Registry::new(4);
@@ -43,6 +58,7 @@ mod feature_off {
         assert_eq!(stats.marked, 32, "marking itself is unaffected");
         assert_eq!(telem.snapshot().counter_total(CounterId::MarkEvents), 0);
         assert!(telem.drain_events().is_empty());
+        assert_eq!(telem.flows_in_flight(), 0, "flow bookkeeping is a no-op");
     }
 }
 
@@ -65,5 +81,16 @@ mod feature_on {
             events.iter().any(|e| e.name == "M_R"),
             "the pass span was recorded"
         );
+        let sends = events
+            .iter()
+            .filter(|e| e.kind == dgr_telemetry::EventKind::FlowSend)
+            .count();
+        let recvs = events
+            .iter()
+            .filter(|e| e.kind == dgr_telemetry::EventKind::FlowRecv)
+            .count();
+        assert!(sends > 0, "marking traffic was flow-stamped");
+        assert_eq!(sends, recvs, "every stamped send was resolved");
+        assert_eq!(telem.flows_in_flight(), 0, "no flow left open");
     }
 }

@@ -170,6 +170,10 @@ impl GcDriver {
     /// pending reduction work. Returns the cycle's report.
     pub fn run_cycle(&mut self) -> CycleReport {
         self.cycle += 1;
+        // Flow events recorded during this cycle's marking waves carry
+        // the cycle number, so a trace analyzer can group the wave DAG
+        // per cycle.
+        self.sys.set_telemetry_cycle(self.cycle);
         let mut report = CycleReport {
             cycle: self.cycle,
             ..Default::default()
@@ -648,6 +652,35 @@ mod tests {
         assert!(events.iter().any(|e| e.name == "M_R"));
         assert!(events.iter().any(|e| e.name == "cycle"));
         assert!(events.iter().any(|e| e.name == "restructure"));
+    }
+
+    #[test]
+    fn timeline_is_bounded_and_keeps_newest_cycles() {
+        // A tiny quiescent graph so thousands of cycles stay cheap.
+        let mut g = GraphStore::with_capacity(4);
+        let root = g.alloc(NodeLabel::lit_int(7)).unwrap();
+        g.set_root(root);
+        let sys = System::new(g, TemplateStore::new(), SystemConfig::default());
+        let mut gc = GcDriver::new(sys, GcConfig::default());
+        let total = (TIMELINE_CAP + 150) as u32;
+        for _ in 0..total {
+            gc.run_cycle();
+        }
+        assert_eq!(gc.timeline().len(), TIMELINE_CAP, "bound holds");
+        assert_eq!(gc.stats().cycles, total, "every cycle still ran");
+        let front = gc.timeline().front().unwrap();
+        let back = gc.timeline().back().unwrap();
+        assert_eq!(back.cycle, total, "newest cycle kept");
+        assert_eq!(
+            front.cycle,
+            total - TIMELINE_CAP as u32 + 1,
+            "oldest surviving entry is exactly CAP cycles back"
+        );
+        // Entries are contiguous and ordered: the ring dropped only from
+        // the front.
+        for (i, t) in gc.timeline().iter().enumerate() {
+            assert_eq!(t.cycle, front.cycle + i as u32);
+        }
     }
 
     #[test]

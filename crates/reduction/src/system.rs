@@ -2,11 +2,11 @@
 
 use dgr_core::{handle_mark, MarkMsg, MarkState};
 use dgr_graph::{
-    GraphStore, PartitionMap, PartitionStrategy, Priority, RequestKind, Requester, TaskEndpoints,
-    Value,
+    GraphStore, PartitionMap, PartitionStrategy, Priority, RequestKind, Requester, Slot,
+    TaskEndpoints, Value,
 };
 use dgr_sim::{DetSim, Envelope, Lane, SchedPolicy};
-use dgr_telemetry::{CounterId, Registry};
+use dgr_telemetry::{CounterId, Phase, Registry};
 
 use crate::engine::{handle_red, EngineCtx};
 use crate::msg::{RedMsg, SysMsg};
@@ -92,6 +92,21 @@ pub struct System {
     /// with no executing task (external injection, GC driver seeds) are
     /// not attributed.
     executing: Option<dgr_graph::PeId>,
+    /// The marking cycle flow events are attributed to; a GC driver sets
+    /// it at the start of each cycle so the causal trace of the marking
+    /// wave groups by cycle.
+    telem_cycle: u32,
+}
+
+/// Phase tag and flow-event name of a marking message, by slot: the
+/// task-marking wave (`M_T`) and the priority-marking wave (`M_R`) are
+/// traced under distinct names so a cycle analyzer can keep their
+/// fan-outs apart.
+fn mark_flow_meta(m: &MarkMsg) -> (Phase, &'static str) {
+    match m.slot() {
+        Slot::T => (Phase::Mt, "M_T"),
+        Slot::R => (Phase::Mr, "M_R"),
+    }
 }
 
 impl System {
@@ -110,7 +125,14 @@ impl System {
             events: 0,
             telem,
             executing: None,
+            telem_cycle: 0,
         }
+    }
+
+    /// Sets the marking cycle number flow events are stamped with (GC
+    /// drivers call this at the start of each cycle).
+    pub fn set_telemetry_cycle(&mut self, cycle: u32) {
+        self.telem_cycle = cycle;
     }
 
     /// The system's telemetry registry (the zero-sized no-op in a default
@@ -161,15 +183,24 @@ impl System {
             .send(Envelope::new(pe, Lane::Reduction(prio), SysMsg::Red(msg)));
     }
 
-    /// Routes and enqueues a marking task.
+    /// Routes and enqueues a marking task, recording a flow-send event
+    /// (the causal edge's origin) on the sending PE — the currently
+    /// executing one, or the destination for externally injected seeds.
     pub fn send_mark(&mut self, msg: MarkMsg) {
         let pe = msg
             .dest_vertex()
             .map(|v| self.partition().pe_of(v))
             .unwrap_or(dgr_graph::PeId::new(0));
         self.count_send(pe);
-        self.sim
+        let (fphase, fname) = mark_flow_meta(&msg);
+        let src = self.executing.unwrap_or(pe);
+        let seq = self
+            .sim
             .send(Envelope::new(pe, Lane::Marking, SysMsg::Mark(msg)));
+        // Flow id = seq + 1: the simulator's sequence numbers are unique
+        // across the system's lifetime, and 0 stays the "no flow" value.
+        self.telem
+            .flow_send(src.raw(), self.telem_cycle, fphase, fname, seq + 1);
     }
 
     /// Attributes a send to the PE whose task is currently executing, as
@@ -205,11 +236,22 @@ impl System {
     /// Delivers and executes one task. Returns `false` if the system is
     /// quiescent.
     pub fn step(&mut self) -> bool {
-        let Some((pe, lane, msg)) = self.sim.next_event() else {
+        let Some((pe, lane, seq, msg)) = self.sim.next_event_tagged() else {
             return false;
         };
+        self.flow_recv(pe, seq, &msg);
         self.dispatch(pe, lane, msg);
         true
+    }
+
+    /// Records the delivery end of a marking message's flow edge (see
+    /// [`System::send_mark`]); reduction messages are not flow-traced.
+    fn flow_recv(&self, pe: dgr_graph::PeId, seq: u64, msg: &SysMsg) {
+        if let SysMsg::Mark(m) = msg {
+            let (fphase, fname) = mark_flow_meta(m);
+            self.telem
+                .flow_recv(pe.raw(), self.telem_cycle, fphase, fname, seq + 1);
+        }
     }
 
     /// Delivers and executes one task from the given lane (oldest first),
@@ -218,9 +260,10 @@ impl System {
     /// service during a collection phase (the paper's Section 6 remark
     /// that marking tasks may take precedence at a vertex).
     pub fn step_lane(&mut self, lane: Lane) -> bool {
-        let Some((pe, lane, msg)) = self.sim.next_event_in_lane(lane) else {
+        let Some((pe, lane, seq, msg)) = self.sim.next_event_in_lane_tagged(lane) else {
             return false;
         };
+        self.flow_recv(pe, seq, &msg);
         self.dispatch(pe, lane, msg);
         true
     }

@@ -316,12 +316,18 @@ impl<M> DetSim<M> {
         self.pes.len() as u16
     }
 
-    /// Enqueues a message.
+    /// Enqueues a message, returning its globally unique sequence number.
+    ///
+    /// The sequence number doubles as a causal handle: tagged dequeues
+    /// ([`DetSim::next_event_tagged`]) return it with the message, so a
+    /// caller can pair every delivery with its send — the flow-id scheme
+    /// the tracing layer builds happens-before edges from — without the
+    /// simulator carrying any extra per-message state.
     ///
     /// # Panics
     ///
     /// Panics if the destination PE does not exist.
-    pub fn send(&mut self, env: Envelope<M>) {
+    pub fn send(&mut self, env: Envelope<M>) -> u64 {
         let seq = self.seq;
         let q = &mut self.pes[env.dst.index()][env.lane.index()];
         q.push_back((seq, env.msg));
@@ -330,6 +336,7 @@ impl<M> DetSim<M> {
         self.index_insert(env.dst.raw(), env.lane, seq);
         self.stats.record_send(env.lane);
         self.stats.observe_depth(self.pending);
+        seq
     }
 
     /// Number of pending messages.
@@ -357,6 +364,14 @@ impl<M> DetSim<M> {
     /// Picks, removes and returns the next message per the policy, or
     /// `None` when the system is quiescent.
     pub fn next_event(&mut self) -> Option<(PeId, Lane, M)> {
+        self.next_event_tagged()
+            .map(|(pe, lane, _, m)| (pe, lane, m))
+    }
+
+    /// Like [`DetSim::next_event`], but also returns the sequence number
+    /// [`DetSim::send`] assigned the message — the handle tracing uses to
+    /// match this delivery to its send.
+    pub fn next_event_tagged(&mut self) -> Option<(PeId, Lane, u64, M)> {
         if self.pending == 0 {
             return None;
         }
@@ -377,7 +392,7 @@ impl<M> DetSim<M> {
         self.pending -= 1;
         self.index_remove(pe.raw(), lane, seq);
         self.stats.record_deliver(pe.raw(), lane);
-        Some((pe, lane, msg))
+        Some((pe, lane, seq, msg))
     }
 
     /// Globally oldest (`newest = false`) or newest pending message. Queues
@@ -479,13 +494,20 @@ impl<M> DetSim<M> {
     /// priority service (e.g. marking tasks during a collection phase,
     /// per the paper's Section 6 remark).
     pub fn next_event_in_lane(&mut self, lane: Lane) -> Option<(PeId, Lane, M)> {
+        self.next_event_in_lane_tagged(lane)
+            .map(|(pe, lane, _, m)| (pe, lane, m))
+    }
+
+    /// Like [`DetSim::next_event_in_lane`], but also returns the
+    /// message's sequence number (see [`DetSim::next_event_tagged`]).
+    pub fn next_event_in_lane_tagged(&mut self, lane: Lane) -> Option<(PeId, Lane, u64, M)> {
         let l = lane.index();
         let (_, pe) = Self::lane_oldest(&self.pes, &mut self.mirror[l], l)?;
         let (seq, msg) = self.pes[pe as usize][lane.index()].pop_front()?;
         self.pending -= 1;
         self.index_remove(pe, lane, seq);
         self.stats.record_deliver(pe, lane);
-        Some((PeId::new(pe), lane, msg))
+        Some((PeId::new(pe), lane, seq, msg))
     }
 
     /// Iterates over all pending messages (for `taskroot` construction and
@@ -678,6 +700,22 @@ mod tests {
         let all: Vec<u32> = sim.iter_pending().map(|(_, _, &m)| m).collect();
         assert_eq!(all.len(), 2);
         assert!(all.contains(&1) && all.contains(&2));
+    }
+
+    #[test]
+    fn tagged_dequeues_return_the_send_seq() {
+        let mut sim = DetSim::new(2, SchedPolicy::Fifo, 0);
+        let s0 = sim.send(env(0, Lane::Marking, 10));
+        let s1 = sim.send(env(1, Lane::Mutator, 11));
+        let s2 = sim.send(env(0, Lane::Marking, 12));
+        assert_eq!((s0, s1, s2), (0, 1, 2), "seqs are assigned in send order");
+        let (_, _, seq, m) = sim.next_event_tagged().unwrap();
+        assert_eq!((seq, m), (s0, 10));
+        let (_, _, seq, m) = sim.next_event_in_lane_tagged(Lane::Marking).unwrap();
+        assert_eq!((seq, m), (s2, 12), "lane dequeue skips other lanes");
+        let (_, _, seq, m) = sim.next_event_tagged().unwrap();
+        assert_eq!((seq, m), (s1, 11));
+        assert!(sim.next_event_tagged().is_none());
     }
 
     #[test]

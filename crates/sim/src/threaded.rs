@@ -15,23 +15,40 @@ use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dgr_graph::PeId;
-use dgr_telemetry::{CounterId, GaugeId, HistId, Registry};
+use dgr_telemetry::{CounterId, FlowTag, GaugeId, HistId, Phase, Registry};
 
-use crate::msg::Envelope;
+use crate::msg::{Envelope, Lane};
 
+/// Work items carry each message with its causal flow tag, stamped at
+/// send and resolved at delivery. [`FlowTag`] is zero-sized in a default
+/// (no-`telemetry`) build, so `(FlowTag, M)` is layout-identical to `M`
+/// and the tagging costs nothing — `telemetry_off.rs` pins this.
 enum WorkItem<M> {
-    Msg(M),
-    Batch(Vec<M>),
+    Msg(FlowTag, M),
+    Batch(Vec<(FlowTag, M)>),
     Stop,
 }
 
 impl<M> WorkItem<M> {
-    fn from_batch(mut batch: Vec<M>) -> Self {
+    fn from_batch(mut batch: Vec<(FlowTag, M)>) -> Self {
         if batch.len() == 1 {
-            WorkItem::Msg(batch.pop().expect("len 1"))
+            let (tag, m) = batch.pop().expect("len 1");
+            WorkItem::Msg(tag, m)
         } else {
             WorkItem::Batch(batch)
         }
+    }
+}
+
+/// Phase a threaded-runtime send is attributed to, by lane: marking
+/// traffic is the `M_R` wave, everything else is mutator work. (At
+/// delivery the lane is gone — batches are per-destination, not
+/// per-lane — so receives use [`Phase::Mutate`]; the flow edge itself
+/// still links the two ends.)
+fn lane_phase(lane: Lane) -> Phase {
+    match lane {
+        Lane::Marking => Phase::Mr,
+        _ => Phase::Mutate,
     }
 }
 
@@ -54,7 +71,7 @@ pub struct ThreadCtx<'t, M> {
     me: PeId,
     /// Per-destination staging buffers; drained by `flush`. Strictly
     /// thread-local (each worker owns its ctx), hence `RefCell`.
-    outbox: RefCell<Vec<Vec<M>>>,
+    outbox: RefCell<Vec<Vec<(FlowTag, M)>>>,
     /// Telemetry registry — the zero-sized no-op unless the runtime was
     /// entered through [`ThreadedRuntime::run_with`] in a `telemetry`
     /// build, so every call through it compiles away by default.
@@ -70,7 +87,10 @@ impl<M> ThreadCtx<'_, M> {
         } else {
             CounterId::SendsRemote
         });
-        self.outbox.borrow_mut()[env.dst.index()].push(env.msg);
+        let tag = self
+            .telem
+            .flow_send_tag(self.me.raw(), 0, lane_phase(env.lane), "msg");
+        self.outbox.borrow_mut()[env.dst.index()].push((tag, env.msg));
     }
 
     /// Flushes the outbox: one work item per destination PE with staged
@@ -207,10 +227,12 @@ impl ThreadedRuntime {
         let handled_total = AtomicU64::new(0);
 
         // Seed the mailboxes before any worker starts: one batch per
-        // destination PE with initial messages.
-        let mut seeds: Vec<Vec<M>> = (0..n).map(|_| Vec::new()).collect();
+        // destination PE with initial messages. Seed flows are stamped
+        // on their destination PE — there is no sending PE yet.
+        let mut seeds: Vec<Vec<(FlowTag, M)>> = (0..n).map(|_| Vec::new()).collect();
         for env in initial {
-            seeds[env.dst.index()].push(env.msg);
+            let tag = telem.flow_send_tag(env.dst.raw(), 0, lane_phase(env.lane), "msg");
+            seeds[env.dst.index()].push((tag, env.msg));
         }
         let mut seeded = false;
         for (dst, batch) in seeds.into_iter().enumerate() {
@@ -265,13 +287,22 @@ impl ThreadedRuntime {
                         let Ok(item) = received else { break };
                         let msgs = match item {
                             WorkItem::Stop => break,
-                            WorkItem::Msg(m) => {
+                            WorkItem::Msg(tag, m) => {
+                                ctx.telem
+                                    .flow_recv_tag(ctx.me.raw(), 0, Phase::Mutate, "msg", tag);
                                 handler(&ctx, m);
                                 1
                             }
                             WorkItem::Batch(batch) => {
                                 let len = batch.len() as u64;
-                                for m in batch {
+                                for (tag, m) in batch {
+                                    ctx.telem.flow_recv_tag(
+                                        ctx.me.raw(),
+                                        0,
+                                        Phase::Mutate,
+                                        "msg",
+                                        tag,
+                                    );
                                     handler(&ctx, m);
                                 }
                                 len
@@ -400,5 +431,49 @@ mod tests {
     #[should_panic(expected = "at least one PE")]
     fn zero_pes_rejected() {
         let _ = ThreadedRuntime::new(0);
+    }
+
+    /// Every handled message shows up as one flow send + one flow recv
+    /// pair. (`telemetry`-gated: `run_with` takes the facade registry,
+    /// which only records when the feature is on.)
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn every_delivery_resolves_one_flow() {
+        use dgr_telemetry::EventKind;
+        let telem = Registry::new(4);
+        let rt = ThreadedRuntime::new(4);
+        let handled = rt.run_with(
+            vec![Envelope::new(PeId::new(0), Lane::Marking, 4u32)],
+            |ctx, n| {
+                if n > 0 {
+                    for t in 0..2u16 {
+                        let dst = PeId::new((ctx.me().raw() + t + 1) % 4);
+                        ctx.send(Envelope::new(dst, Lane::Marking, n - 1));
+                    }
+                }
+            },
+            &telem,
+        );
+        assert_eq!(telem.flows_in_flight(), 0, "every flow was resolved");
+        let events = telem.drain_events();
+        let sends: Vec<u64> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::FlowSend)
+            .map(|e| e.value)
+            .collect();
+        let recvs: Vec<u64> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::FlowRecv)
+            .map(|e| e.value)
+            .collect();
+        assert_eq!(sends.len() as u64, handled, "one flow per message");
+        assert_eq!(recvs.len() as u64, handled);
+        let mut s = sends.clone();
+        let mut r = recvs.clone();
+        s.sort_unstable();
+        r.sort_unstable();
+        assert_eq!(s, r, "recvs resolve exactly the sent flow ids");
+        s.dedup();
+        assert_eq!(s.len(), sends.len(), "flow ids are unique");
     }
 }

@@ -10,6 +10,8 @@
 //! count wrap around (`pe % shards`), which keeps `pe()` panic-free for
 //! any input.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -20,6 +22,20 @@ use crate::ring::{Event, EventKind, EventRing};
 /// Default per-PE event-ring capacity.
 pub const DEFAULT_RING_CAPACITY: usize = 8192;
 
+/// An opaque flow id travelling with an in-flight message in runtimes
+/// that have no per-message sequence number of their own (the threaded
+/// runtime). `0` is reserved for "no flow" ([`FlowTag::NONE`]); the noop
+/// counterpart is zero-sized, so `(FlowTag, M)` adds nothing to a work
+/// item in a default build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlowTag(pub u64);
+
+impl FlowTag {
+    /// The "no flow" tag: carried by messages that are not stamped and
+    /// ignored on delivery.
+    pub const NONE: FlowTag = FlowTag(0);
+}
+
 /// One PE's metrics and event ring.
 #[derive(Debug)]
 pub struct PeShard {
@@ -29,6 +45,9 @@ pub struct PeShard {
     /// Uncontended in practice (each PE writes its own shard); a mutex
     /// keeps the API `&self` without unsafe.
     ring: Mutex<EventRing>,
+    /// The PE's Lamport clock: ticked by flow sends, merged by flow
+    /// receives.
+    lamport: AtomicU64,
 }
 
 impl PeShard {
@@ -38,7 +57,13 @@ impl PeShard {
             gauges: std::array::from_fn(|_| Gauge::new()),
             hists: std::array::from_fn(|_| Histogram::new()),
             ring: Mutex::new(EventRing::new(ring_capacity)),
+            lamport: AtomicU64::new(0),
         }
+    }
+
+    /// The PE's current Lamport clock.
+    pub fn lamport(&self) -> u64 {
+        self.lamport.load(Ordering::Relaxed)
     }
 
     /// Adds one to a counter.
@@ -93,6 +118,13 @@ impl PeShard {
 pub struct Registry {
     shards: Box<[PeShard]>,
     t0: Instant,
+    /// Flow ids handed out by [`Registry::flow_send_tag`]; starts at 1 so
+    /// 0 stays the [`FlowTag::NONE`] sentinel.
+    next_flow: AtomicU64,
+    /// Sender Lamport clock of every flow sent but not yet delivered —
+    /// the receive side merges it and removes the entry, so what remains
+    /// is exactly the in-flight set.
+    flows: Mutex<HashMap<u64, u64>>,
 }
 
 impl Registry {
@@ -107,6 +139,8 @@ impl Registry {
         Registry {
             shards: (0..n).map(|_| PeShard::new(ring_capacity)).collect(),
             t0: Instant::now(),
+            next_flow: AtomicU64::new(1),
+            flows: Mutex::new(HashMap::new()),
         }
     }
 
@@ -147,6 +181,7 @@ impl Registry {
             kind,
             name,
             value,
+            lamport: 0,
         });
     }
 
@@ -175,6 +210,85 @@ impl Registry {
             phase,
             name,
         }
+    }
+
+    /// Records a message leaving PE `pe` under an externally chosen flow
+    /// id (a simulator sequence number, say). Ticks the PE's Lamport
+    /// clock and remembers it for the matching [`Registry::flow_recv`].
+    pub fn flow_send(&self, pe: u16, cycle: u32, phase: Phase, name: &'static str, flow: u64) {
+        let shard = self.pe(pe);
+        let lamport = shard.lamport.fetch_add(1, Ordering::Relaxed) + 1;
+        self.flows
+            .lock()
+            .expect("telemetry flow map poisoned")
+            .insert(flow, lamport);
+        shard.push_event(Event {
+            ts_us: self.now_us(),
+            pe,
+            cycle,
+            phase,
+            kind: EventKind::FlowSend,
+            name,
+            value: flow,
+            lamport,
+        });
+    }
+
+    /// Records the delivery of flow `flow` on PE `pe`, closing the
+    /// happens-before edge: the receiver's Lamport clock becomes
+    /// `max(local, sender) + 1`. Unknown flow ids (the send was recorded
+    /// before the registry existed, or never) merge against 0.
+    pub fn flow_recv(&self, pe: u16, cycle: u32, phase: Phase, name: &'static str, flow: u64) {
+        let sent = self
+            .flows
+            .lock()
+            .expect("telemetry flow map poisoned")
+            .remove(&flow)
+            .unwrap_or(0);
+        let shard = self.pe(pe);
+        shard.lamport.fetch_max(sent, Ordering::Relaxed);
+        let lamport = shard.lamport.fetch_add(1, Ordering::Relaxed) + 1;
+        shard.push_event(Event {
+            ts_us: self.now_us(),
+            pe,
+            cycle,
+            phase,
+            kind: EventKind::FlowRecv,
+            name,
+            value: flow,
+            lamport,
+        });
+    }
+
+    /// [`Registry::flow_send`] for runtimes without their own message
+    /// sequence numbers: allocates a fresh flow id, records the send, and
+    /// returns a [`FlowTag`] to travel with the message.
+    pub fn flow_send_tag(&self, pe: u16, cycle: u32, phase: Phase, name: &'static str) -> FlowTag {
+        let flow = self.next_flow.fetch_add(1, Ordering::Relaxed);
+        self.flow_send(pe, cycle, phase, name, flow);
+        FlowTag(flow)
+    }
+
+    /// Resolves a [`FlowTag`] at delivery. [`FlowTag::NONE`] is ignored.
+    pub fn flow_recv_tag(
+        &self,
+        pe: u16,
+        cycle: u32,
+        phase: Phase,
+        name: &'static str,
+        tag: FlowTag,
+    ) {
+        if tag != FlowTag::NONE {
+            self.flow_recv(pe, cycle, phase, name, tag.0);
+        }
+    }
+
+    /// Number of flows sent but not yet delivered.
+    pub fn flows_in_flight(&self) -> usize {
+        self.flows
+            .lock()
+            .expect("telemetry flow map poisoned")
+            .len()
     }
 
     /// Copies every shard's metrics out.
@@ -270,6 +384,54 @@ mod tests {
         assert!(evs.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
         assert_eq!(evs[2].value, 42);
         assert!(r.drain_events().is_empty(), "drain clears");
+    }
+
+    #[test]
+    fn flow_clocks_respect_happens_before() {
+        let r = Registry::new(2);
+        // PE 0 sends two flows; PE 1 receives them in order.
+        let a = r.flow_send_tag(0, 1, Phase::Mr, "mark");
+        let b = r.flow_send_tag(0, 1, Phase::Mr, "mark");
+        assert_ne!(a, FlowTag::NONE);
+        assert_ne!(a, b, "fresh ids per send");
+        assert_eq!(r.flows_in_flight(), 2);
+        r.flow_recv_tag(1, 1, Phase::Mr, "mark", a);
+        r.flow_recv_tag(1, 1, Phase::Mr, "mark", b);
+        r.flow_recv_tag(1, 1, Phase::Mr, "mark", FlowTag::NONE);
+        assert_eq!(r.flows_in_flight(), 0);
+        let evs = r.drain_events();
+        assert_eq!(evs.len(), 4, "NONE tags record nothing");
+        let sends: Vec<&Event> = evs
+            .iter()
+            .filter(|e| e.kind == EventKind::FlowSend)
+            .collect();
+        let recvs: Vec<&Event> = evs
+            .iter()
+            .filter(|e| e.kind == EventKind::FlowRecv)
+            .collect();
+        assert_eq!(sends.len(), 2);
+        assert_eq!(recvs.len(), 2);
+        for (s, r) in sends.iter().zip(recvs.iter()) {
+            assert_eq!(s.value, r.value, "flow ids pair up");
+            assert!(r.lamport > s.lamport, "delivery is after the send");
+        }
+    }
+
+    #[test]
+    fn flow_recv_merges_the_senders_clock() {
+        let r = Registry::new(2);
+        // Advance PE 0's clock well past PE 1's, then send 0 -> 1: the
+        // receive must jump over the sender's clock, not just tick.
+        for _ in 0..9 {
+            let t = r.flow_send_tag(0, 0, Phase::Mr, "m");
+            r.flow_recv_tag(0, 0, Phase::Mr, "m", t);
+        }
+        let t = r.flow_send_tag(0, 0, Phase::Mr, "m");
+        r.flow_recv_tag(1, 0, Phase::Mr, "m", t);
+        let evs = r.drain_events();
+        let recv = evs.iter().rfind(|e| e.kind == EventKind::FlowRecv).unwrap();
+        assert_eq!(recv.pe, 1);
+        assert_eq!(recv.lamport, 20, "max(0, 19) + 1");
     }
 
     #[test]

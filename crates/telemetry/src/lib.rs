@@ -32,6 +32,7 @@
 
 pub mod active;
 pub mod cycle;
+pub mod flight;
 pub mod ids;
 pub mod metrics;
 pub mod noop;
@@ -39,6 +40,7 @@ pub mod ring;
 pub mod trace;
 
 pub use cycle::{timeline_json, timeline_text, CycleReport};
+pub use flight::{flight_json, flight_path, write_flight, FLIGHT_DIR_ENV};
 pub use ids::{CounterId, GaugeId, HistId, Phase};
 pub use metrics::{
     bucket_index, bucket_label, HistSnapshot, MetricsSnapshot, PeSnapshot, HIST_BUCKETS,
@@ -47,10 +49,10 @@ pub use ring::{Event, EventKind};
 pub use trace::{chrome_trace_json, events_jsonl};
 
 #[cfg(feature = "telemetry")]
-pub use active::{PeShard, Registry, SpanGuard};
+pub use active::{FlowTag, PeShard, Registry, SpanGuard};
 
 #[cfg(not(feature = "telemetry"))]
-pub use noop::{PeShard, Registry, SpanGuard};
+pub use noop::{FlowTag, PeShard, Registry, SpanGuard};
 
 /// `true` when this build records telemetry (the `telemetry` feature is
 /// on), `false` when [`Registry`] is the zero-sized no-op.

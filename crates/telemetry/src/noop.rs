@@ -10,6 +10,19 @@ use crate::ids::{CounterId, GaugeId, HistId, Phase};
 use crate::metrics::MetricsSnapshot;
 use crate::ring::Event;
 
+/// No-op counterpart of [`active::FlowTag`](crate::active::FlowTag).
+///
+/// Zero-sized, so a `(FlowTag, M)` work item is layout-identical to a
+/// bare `M` — flow stamping adds no bytes to hot-path messages in a
+/// default build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlowTag;
+
+impl FlowTag {
+    /// The "no flow" tag (the only value there is).
+    pub const NONE: FlowTag = FlowTag;
+}
+
 /// No-op counterpart of [`active::PeShard`](crate::active::PeShard).
 #[derive(Debug)]
 pub struct PeShard;
@@ -101,6 +114,46 @@ impl Registry {
         SpanGuard(std::marker::PhantomData)
     }
 
+    /// Does nothing.
+    #[inline(always)]
+    pub fn flow_send(&self, _pe: u16, _cycle: u32, _phase: Phase, _name: &'static str, _flow: u64) {
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn flow_recv(&self, _pe: u16, _cycle: u32, _phase: Phase, _name: &'static str, _flow: u64) {
+    }
+
+    /// Does nothing; returns the zero-sized tag.
+    #[inline(always)]
+    pub fn flow_send_tag(
+        &self,
+        _pe: u16,
+        _cycle: u32,
+        _phase: Phase,
+        _name: &'static str,
+    ) -> FlowTag {
+        FlowTag
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn flow_recv_tag(
+        &self,
+        _pe: u16,
+        _cycle: u32,
+        _phase: Phase,
+        _name: &'static str,
+        _tag: FlowTag,
+    ) {
+    }
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn flows_in_flight(&self) -> usize {
+        0
+    }
+
     /// An empty snapshot.
     #[inline(always)]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -137,6 +190,7 @@ mod tests {
         assert_eq!(std::mem::size_of::<Registry>(), 0);
         assert_eq!(std::mem::size_of::<PeShard>(), 0);
         assert_eq!(std::mem::size_of::<SpanGuard<'_>>(), 0);
+        assert_eq!(std::mem::size_of::<FlowTag>(), 0);
     }
 
     #[test]
@@ -152,6 +206,11 @@ mod tests {
         {
             let _g = r.span(0, 1, Phase::Gc, "cycle");
         }
+        let tag = r.flow_send_tag(0, 1, Phase::Mr, "mark");
+        r.flow_recv_tag(1, 1, Phase::Mr, "mark", tag);
+        r.flow_send(0, 1, Phase::Mt, "mark", 7);
+        r.flow_recv(1, 1, Phase::Mt, "mark", 7);
+        assert_eq!(r.flows_in_flight(), 0);
         assert_eq!(r.snapshot().merged().counter(CounterId::MarkEvents), 0);
         assert!(r.drain_events().is_empty());
         assert_eq!(r.dropped_events(), 0);

@@ -16,6 +16,14 @@ pub enum EventKind {
     End,
     /// A point event with a value payload.
     Instant,
+    /// A message left its sender: the payload is the flow id and
+    /// `lamport` the sender's clock after the send tick.
+    FlowSend,
+    /// A message reached its destination: the payload is the flow id
+    /// sent earlier and `lamport` the receiver's merged clock — together
+    /// with the matching [`EventKind::FlowSend`] this is one
+    /// happens-before edge of the marking wave.
+    FlowRecv,
 }
 
 impl EventKind {
@@ -25,6 +33,8 @@ impl EventKind {
             EventKind::Begin => "begin",
             EventKind::End => "end",
             EventKind::Instant => "instant",
+            EventKind::FlowSend => "flow_send",
+            EventKind::FlowRecv => "flow_recv",
         }
     }
 }
@@ -44,8 +54,13 @@ pub struct Event {
     pub kind: EventKind,
     /// Event name (static so recording never allocates).
     pub name: &'static str,
-    /// Payload for instant events (0 for spans).
+    /// Payload: the value for instant events, the flow id for
+    /// flow-send/flow-recv events, 0 for spans.
     pub value: u64,
+    /// Lamport timestamp for flow events (0 for everything else):
+    /// ticked on send, merged (`max(local, sender) + 1`) on delivery, so
+    /// comparing two flow events' clocks respects happens-before.
+    pub lamport: u64,
 }
 
 /// A fixed-capacity overwrite-oldest ring of [`Event`]s.
@@ -126,6 +141,7 @@ mod tests {
             kind: EventKind::Instant,
             name: "t",
             value: ts,
+            lamport: 0,
         }
     }
 

@@ -29,7 +29,7 @@ pub fn events_jsonl(events: &[Event]) -> String {
     for e in events {
         out.push_str(&format!(
             "{{\"ts_us\": {}, \"pe\": {}, \"cycle\": {}, \"phase\": \"{}\", \
-             \"kind\": \"{}\", \"name\": \"{}\", \"value\": {}}}\n",
+             \"kind\": \"{}\", \"name\": \"{}\", \"value\": {}, \"lamport\": {}}}\n",
             e.ts_us,
             e.pe,
             e.cycle,
@@ -37,6 +37,7 @@ pub fn events_jsonl(events: &[Event]) -> String {
             e.kind.name(),
             json_escape(e.name),
             e.value,
+            e.lamport,
         ));
     }
     out
@@ -48,7 +49,11 @@ pub fn events_jsonl(events: &[Event]) -> String {
 /// monotonically non-decreasing `ts` per track; stability preserves
 /// begin/end nesting at equal timestamps). Spans become `B`/`E` pairs and
 /// instants become `i` records scoped to their thread; `pid` is 0 and
-/// `tid` is the PE id.
+/// `tid` is the PE id. Flow sends/receives become `s`/`f` flow events
+/// keyed by flow id, all under the single category `flow` (Perfetto links
+/// the two ends by `(cat, id)`, so both must use the same category even
+/// when the send and delivery happened in different phases); the `f` end
+/// carries `"bp": "e"` so the arrow binds to the enclosing slice.
 pub fn chrome_trace_json(events: &[Event]) -> String {
     let mut sorted: Vec<&Event> = events.iter().collect();
     sorted.sort_by_key(|e| e.ts_us);
@@ -58,21 +63,28 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
             EventKind::Begin => "B",
             EventKind::End => "E",
             EventKind::Instant => "i",
+            EventKind::FlowSend => "s",
+            EventKind::FlowRecv => "f",
         };
-        let scope = if e.kind == EventKind::Instant {
-            ", \"s\": \"t\""
-        } else {
-            ""
+        let extra = match e.kind {
+            EventKind::Instant => ", \"s\": \"t\"".to_string(),
+            EventKind::FlowSend => format!(", \"id\": {}", e.value),
+            EventKind::FlowRecv => format!(", \"bp\": \"e\", \"id\": {}", e.value),
+            _ => String::new(),
+        };
+        let cat = match e.kind {
+            EventKind::FlowSend | EventKind::FlowRecv => "flow",
+            _ => e.phase.name(),
         };
         out.push_str(&format!(
             "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"{}\", \"ts\": {}, \
              \"pid\": 0, \"tid\": {}{}, \"args\": {{\"cycle\": {}, \"value\": {}}}}}{}\n",
             json_escape(e.name),
-            e.phase.name(),
+            cat,
             ph,
             e.ts_us,
             e.pe,
-            scope,
+            extra,
             e.cycle,
             e.value,
             if i + 1 < sorted.len() { "," } else { "" },
@@ -96,6 +108,7 @@ mod tests {
             kind,
             name,
             value: 5,
+            lamport: 0,
         }
     }
 
@@ -109,8 +122,30 @@ mod tests {
         assert_eq!(s.lines().count(), 2);
         assert!(s.starts_with(
             "{\"ts_us\": 1, \"pe\": 0, \"cycle\": 3, \"phase\": \"M_R\", \
-             \"kind\": \"begin\", \"name\": \"M_R\", \"value\": 5}"
+             \"kind\": \"begin\", \"name\": \"M_R\", \"value\": 5, \"lamport\": 0}"
         ));
+    }
+
+    #[test]
+    fn chrome_trace_links_flow_ends_by_id_under_one_category() {
+        let mut send = ev(2, 0, EventKind::FlowSend, "M_R");
+        send.value = 41;
+        send.lamport = 1;
+        let mut recv = ev(5, 1, EventKind::FlowRecv, "M_R");
+        recv.value = 41;
+        recv.lamport = 2;
+        let s = chrome_trace_json(&[send, recv]);
+        assert!(s.contains("\"cat\": \"flow\", \"ph\": \"s\""));
+        assert!(s.contains("\"cat\": \"flow\", \"ph\": \"f\""));
+        assert!(
+            s.contains("\"bp\": \"e\", \"id\": 41"),
+            "f end binds enclosing"
+        );
+        assert_eq!(s.matches("\"id\": 41").count(), 2, "both ends share the id");
+        assert!(
+            !s.contains("\"cat\": \"M_R\""),
+            "flows never use the phase cat"
+        );
     }
 
     #[test]

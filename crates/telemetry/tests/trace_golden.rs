@@ -15,6 +15,7 @@ fn ev(ts_us: u64, pe: u16, kind: EventKind, name: &'static str, value: u64) -> E
         kind,
         name,
         value,
+        lamport: 0,
     }
 }
 
@@ -39,9 +40,31 @@ fn chrome_trace_golden() {
     assert_eq!(got, want);
 }
 
+/// Flow events render as `s`/`f` pairs linked by `(cat, id)` — the byte
+/// shape Perfetto resolves arrows from.
+#[test]
+fn chrome_trace_flow_golden() {
+    let mut send = ev(2, 0, EventKind::FlowSend, "M_R", 9);
+    send.lamport = 1;
+    let mut recv = ev(6, 1, EventKind::FlowRecv, "M_R", 9);
+    recv.lamport = 2;
+    let got = chrome_trace_json(&[send, recv]);
+    let want = concat!(
+        "{\"traceEvents\": [\n",
+        "  {\"name\": \"M_R\", \"cat\": \"flow\", \"ph\": \"s\", \"ts\": 2, ",
+        "\"pid\": 0, \"tid\": 0, \"id\": 9, \"args\": {\"cycle\": 7, \"value\": 9}},\n",
+        "  {\"name\": \"M_R\", \"cat\": \"flow\", \"ph\": \"f\", \"ts\": 6, ",
+        "\"pid\": 0, \"tid\": 1, \"bp\": \"e\", \"id\": 9, \"args\": {\"cycle\": 7, \"value\": 9}}\n",
+        "]}\n",
+    );
+    assert_eq!(got, want);
+}
+
 /// Every `E` must close the most recent unclosed `B` with the same name
-/// on the same track — checked over a trace produced by real (nested,
-/// multi-PE) span guards on the always-compiled active registry.
+/// on the same track, and every `f` must resolve a previously-emitted
+/// `s` with the same flow id — checked over a trace produced by real
+/// (nested, multi-PE) span guards and flow tags on the always-compiled
+/// active registry.
 #[test]
 fn chrome_trace_begin_end_pairs_match() {
     let reg = Registry::new(3);
@@ -50,14 +73,18 @@ fn chrome_trace_begin_end_pairs_match() {
         {
             let _mr = reg.span(0, 1, Phase::Mr, "M_R");
             reg.instant(1, 1, Phase::Mr, "wave", 4);
+            let tag = reg.flow_send_tag(0, 1, Phase::Mr, "mark");
+            reg.flow_recv_tag(1, 1, Phase::Mr, "mark", tag);
         }
         let _classify = reg.span(2, 1, Phase::Classify, "restructure");
     }
     let events = reg.drain_events();
     let trace = chrome_trace_json(&events);
 
-    // Replay the trace records in order, one span stack per tid.
+    // Replay the trace records in order: one span stack per tid, one
+    // outstanding-flow set for the whole trace.
     let mut stacks: std::collections::HashMap<u64, Vec<String>> = std::collections::HashMap::new();
+    let mut open_flows: std::collections::HashSet<String> = std::collections::HashSet::new();
     let mut records = 0;
     for line in trace.lines() {
         let Some(name) = field(line, "\"name\": \"", '"') else {
@@ -74,6 +101,14 @@ fn chrome_trace_begin_end_pairs_match() {
                 "E closes the innermost open B on its track"
             ),
             "i" => {}
+            "s" => {
+                let id = field(line, "\"id\": ", ',').unwrap();
+                assert!(open_flows.insert(id), "flow ids are not reused");
+            }
+            "f" => {
+                let id = field(line, "\"id\": ", ',').unwrap();
+                assert!(open_flows.remove(&id), "f resolves a prior s");
+            }
             other => panic!("unexpected ph {other:?}"),
         }
     }
@@ -81,6 +116,10 @@ fn chrome_trace_begin_end_pairs_match() {
     assert!(
         stacks.values().all(Vec::is_empty),
         "no span left open: {stacks:?}"
+    );
+    assert!(
+        open_flows.is_empty(),
+        "no flow left dangling: {open_flows:?}"
     );
 }
 
