@@ -3,7 +3,12 @@
 //!
 //! ```text
 //! bench_gate <baseline.json> <fresh.json> [--tolerance-pct N]
+//! # e.g. bench_gate baselines/BENCH_marking.json BENCH_marking.json
 //! ```
+//!
+//! The committed reference copies live under `baselines/` (tracked);
+//! freshly regenerated reports land in the repo root, which is
+//! gitignored so regeneration never dirties the tree.
 //!
 //! Records are keyed by `(benchmark, vertices, pes)`. Message counts are
 //! deterministic (fixed seeds, fixed schedules) and must match exactly;

@@ -1,0 +1,340 @@
+//! Soak harness for the live observability plane.
+//!
+//! Churns prelude programs through continuous reduction + GC cycles and
+//! periodic threaded `mark1` passes with the `dgr-observe` exporter and
+//! watchdog attached, so `/metrics`, `/status`, `/healthz` and
+//! `/graph.dot` can be scraped against a live, changing system. Each
+//! iteration publishes fresh snapshots (metrics, census, GC progress,
+//! bounded DOT, event tail) into the hub and self-scrapes `/metrics`
+//! over real HTTP to measure end-to-end scrape latency.
+//!
+//! Emits `BENCH_soak.json`: iterations, cycles completed, reclaim
+//! totals, watchdog incidents, scrape latency quantiles, and (with
+//! `--inject-stall`) the result of forcing a stalled marking phase —
+//! `/healthz` must flip to 503 and a flight dump must land in
+//! `$DGR_FLIGHT_DIR`.
+//!
+//! Flags:
+//!
+//! * `--small` — CI-sized workloads and a short default duration;
+//! * `--seconds <n>` — soak duration (default 20, `--small` default 5);
+//! * `--addr <ip:port>` — exporter bind address (default `127.0.0.1:0`,
+//!   the chosen port is printed);
+//! * `--inject-stall` — after the soak, hold a marking phase silent past
+//!   the watchdog deadline and verify degradation + recovery.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dgr_bench::{emit_json, f2, print_table, JsonRecord, JsonValue};
+use dgr_core::threaded::{reset_shared_r, run_mark1_shared_observed};
+use dgr_gc::{GcConfig, GcDriver};
+use dgr_graph::{dot, PartitionStrategy};
+use dgr_lang::build_with_prelude;
+use dgr_observe::{watchdog, CensusSnapshot, GcProgress, ObserveHub, Server, WatchdogConfig};
+use dgr_reduction::{RunOutcome, SystemConfig};
+use dgr_sim::SharedGraph;
+use dgr_telemetry::{flight_path, Phase, Registry, TELEMETRY_ENABLED};
+use dgr_workloads::graphs::binary_tree_dfs;
+
+/// Rotated soak programs: list churn (steady garbage), arithmetic
+/// recursion, and speculative choice (irrelevant-task census fodder).
+const SOURCES: [&str; 3] = [
+    "sum (map (\\x -> x * x) (range 1 80))",
+    "sum (map (\\x -> x + 1) (range 1 120))",
+    "sum (append (range 1 60) (range 1 40))",
+];
+
+/// One blocking HTTP GET against the exporter; returns (status, body).
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("exporter reachable");
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: soak\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .expect("request written");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("response read");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn quantile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let inject_stall = std::env::args().any(|a| a == "--inject-stall");
+    let seconds: u64 = arg_value("--seconds")
+        .map(|s| s.parse().expect("--seconds takes an integer"))
+        .unwrap_or(if small { 5 } else { 20 });
+    let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:0".to_string());
+
+    if !TELEMETRY_ENABLED {
+        println!(
+            "note: built without the `telemetry` feature — the exporter serves \
+             empty metrics and the heartbeat never beats (watchdog stays idle)"
+        );
+    }
+
+    let hub = Arc::new(ObserveHub::new());
+    let server = Server::bind(addr.as_str(), Arc::clone(&hub)).expect("exporter binds");
+    let addr = server.addr();
+    println!("dgr-observe exporter listening on http://{addr}");
+    println!("  curl http://{addr}/metrics   # Prometheus text exposition");
+    println!("  curl http://{addr}/status    # JSON status");
+    println!("  curl http://{addr}/healthz   # 200 ok / 503 degraded");
+    println!("  curl http://{addr}/graph.dot # live graph snapshot");
+    let wd_cfg = WatchdogConfig {
+        // Tight deadline when the point is to trip it; generous for the
+        // steady-state soak so a slow CI box cannot false-alarm.
+        stall_timeout_ms: if inject_stall { 300 } else { 5_000 },
+        ..Default::default()
+    };
+    let dog = watchdog::spawn(Arc::clone(&hub), wd_cfg);
+
+    // The threaded passes share one registry (counters accumulate; the
+    // per-PE mailbox gauges drain back toward zero after every pass) and
+    // one tree, epoch-reset between passes.
+    let pes: u16 = 4;
+    let threaded_telem = Registry::new(pes);
+    let shared = SharedGraph::from_store(binary_tree_dfs(if small { 10 } else { 13 }));
+
+    let deadline = Instant::now() + Duration::from_secs(seconds);
+    let mut totals = GcProgress::default();
+    let mut iterations = 0u64;
+    let mut scrape_us: Vec<u64> = Vec::new();
+    while Instant::now() < deadline {
+        let src = SOURCES[(iterations % SOURCES.len() as u64) as usize];
+        let sys = build_with_prelude(src, SystemConfig::default()).expect("workload builds");
+        let mut gc = GcDriver::new(
+            sys,
+            GcConfig {
+                period: if small { 120 } else { 250 },
+                mt_every: 2,
+                ..Default::default()
+            },
+        );
+        gc.attach_heartbeat(hub.heartbeat_handle());
+        let out = gc.run();
+        assert!(
+            matches!(out, RunOutcome::Value(_)),
+            "soak workload: {out:?}"
+        );
+        totals.cycles += u64::from(gc.stats().cycles);
+        totals.aborted += u64::from(gc.stats().aborted_cycles);
+        totals.reclaimed += gc.stats().reclaimed_total as u64;
+        totals.expunged += gc.stats().expunged_total as u64;
+        totals.relaned += gc.stats().relaned_total as u64;
+        totals.deadlocked += gc.stats().deadlocks_total as u64;
+
+        // A threaded mark1 pass per iteration: populates the per-PE
+        // mailbox/batch metrics and beats the pulse from real threads.
+        reset_shared_r(&shared);
+        run_mark1_shared_observed(
+            &shared,
+            pes,
+            PartitionStrategy::Block,
+            &threaded_telem,
+            &hub.heartbeat_handle(),
+        );
+
+        // Publish: threaded per-PE shards, with the GC driver's
+        // single-shard tallies folded into PE 0. A no-op registry
+        // (default build) snapshots zero shards — publish empty ones so
+        // the exposition still lists every PE.
+        let mut snap = threaded_telem.snapshot();
+        if snap.per_pe.is_empty() {
+            snap.per_pe.resize(usize::from(pes), Default::default());
+        }
+        snap.per_pe[0].merge(&gc.sys.telemetry().snapshot().merged());
+        hub.publish_metrics(snap);
+        let c = gc.last_report().census;
+        hub.publish_census(CensusSnapshot {
+            vital: c.vital,
+            eager: c.eager,
+            reserve: c.reserve,
+            irrelevant: c.irrelevant,
+            dangling: c.dangling,
+        });
+        hub.publish_gc(totals);
+        hub.publish_dot(dot::to_dot(
+            &gc.sys.graph,
+            &dot::DotOptions {
+                max_vertices: 200,
+                ..Default::default()
+            },
+        ));
+        hub.publish_events(gc.sys.telemetry().drain_events());
+
+        // Self-scrape over real HTTP: end-to-end render + serve latency.
+        let t = Instant::now();
+        let (code, body) = http_get(addr, "/metrics");
+        scrape_us.push(t.elapsed().as_micros() as u64);
+        assert_eq!(code, 200, "/metrics scrape failed mid-soak");
+        assert!(
+            body.contains("dgr_uptime_seconds"),
+            "/metrics body incomplete"
+        );
+        iterations += 1;
+    }
+
+    let incidents_steady = hub.incidents();
+    let (healthz_steady, _) = http_get(addr, "/healthz");
+    scrape_us.sort_unstable();
+    print_table(
+        &format!("soak: {iterations} iterations over {seconds}s"),
+        &[
+            "gc cycles",
+            "reclaimed",
+            "expunged",
+            "relaned",
+            "incidents",
+            "healthz",
+            "scrape p50 us",
+            "scrape p99 us",
+        ],
+        &[vec![
+            totals.cycles.to_string(),
+            totals.reclaimed.to_string(),
+            totals.expunged.to_string(),
+            totals.relaned.to_string(),
+            incidents_steady.to_string(),
+            healthz_steady.to_string(),
+            quantile_us(&scrape_us, 0.5).to_string(),
+            quantile_us(&scrape_us, 0.99).to_string(),
+        ]],
+    );
+    assert_eq!(healthz_steady, 200, "steady-state soak must stay healthy");
+
+    // Optional stall injection: hold a marking phase silent past the
+    // watchdog deadline, observe 503 + flight dump, then recover.
+    let mut stall_record: Option<(u64, bool, u16)> = None;
+    if inject_stall {
+        let pulse = hub.heartbeat_handle();
+        pulse.begin_phase(u32::MAX, Phase::Mr);
+        // A no-op pulse cannot stall, so don't wait long proving it.
+        let window = Duration::from_secs(if TELEMETRY_ENABLED { 10 } else { 1 });
+        let t = Instant::now();
+        let mut degraded_status = 0u16;
+        while t.elapsed() < window {
+            let (code, _) = http_get(addr, "/healthz");
+            if code == 503 {
+                degraded_status = code;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let dump_exists = flight_path(0).exists();
+        pulse.end_phase();
+        // The next poll must see the fresh beat and recover.
+        let mut recovered = 0u16;
+        let t = Instant::now();
+        while t.elapsed() < window {
+            let (code, _) = http_get(addr, "/healthz");
+            if code == 200 {
+                recovered = code;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        println!(
+            "inject-stall: healthz={degraded_status} during stall, flight dump {} at {}, \
+             healthz={recovered} after recovery",
+            if dump_exists { "present" } else { "MISSING" },
+            flight_path(0).display(),
+        );
+        if TELEMETRY_ENABLED {
+            assert_eq!(degraded_status, 503, "stall must flip /healthz to 503");
+            assert!(dump_exists, "stall must produce a flight dump");
+            assert_eq!(recovered, 200, "ending the phase must recover health");
+        }
+        stall_record = Some((
+            hub.incidents() - incidents_steady,
+            dump_exists,
+            degraded_status,
+        ));
+    }
+
+    let mut records: Vec<JsonRecord> = vec![vec![
+        ("benchmark", JsonValue::Str("soak".into())),
+        ("seconds", JsonValue::Int(seconds)),
+        ("iterations", JsonValue::Int(iterations)),
+        ("gc_cycles", JsonValue::Int(totals.cycles)),
+        ("gc_cycles_aborted", JsonValue::Int(totals.aborted)),
+        ("reclaimed", JsonValue::Int(totals.reclaimed)),
+        ("expunged", JsonValue::Int(totals.expunged)),
+        ("relaned", JsonValue::Int(totals.relaned)),
+        ("deadlocked", JsonValue::Int(totals.deadlocked)),
+        ("watchdog_incidents", JsonValue::Int(incidents_steady)),
+        ("healthz", JsonValue::Int(u64::from(healthz_steady))),
+        ("scrapes", JsonValue::Int(hub.scrapes())),
+        (
+            "scrape_p50_us",
+            JsonValue::Int(quantile_us(&scrape_us, 0.5)),
+        ),
+        (
+            "scrape_p90_us",
+            JsonValue::Int(quantile_us(&scrape_us, 0.9)),
+        ),
+        (
+            "scrape_p99_us",
+            JsonValue::Int(quantile_us(&scrape_us, 0.99)),
+        ),
+        (
+            "scrape_max_us",
+            JsonValue::Int(scrape_us.last().copied().unwrap_or(0)),
+        ),
+        (
+            "scrape_mean_us",
+            JsonValue::Float(if scrape_us.is_empty() {
+                0.0
+            } else {
+                scrape_us.iter().sum::<u64>() as f64 / scrape_us.len() as f64
+            }),
+        ),
+        ("telemetry", JsonValue::Int(u64::from(TELEMETRY_ENABLED))),
+    ]];
+    if let Some((incidents, dump, status)) = stall_record {
+        records.push(vec![
+            ("benchmark", JsonValue::Str("soak_inject_stall".into())),
+            ("incidents", JsonValue::Int(incidents)),
+            ("flight_dump", JsonValue::Int(u64::from(dump))),
+            ("healthz_during_stall", JsonValue::Int(u64::from(status))),
+        ]);
+    }
+    emit_json(true, "BENCH_soak.json", &records);
+    println!(
+        "scrape latency: mean {} us over {} self-scrapes",
+        f2(scrape_us.iter().sum::<u64>() as f64 / scrape_us.len().max(1) as f64),
+        scrape_us.len(),
+    );
+
+    server.shutdown();
+    dog.join().expect("watchdog joins");
+}

@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use dgr_graph::{Color, GraphStore, MarkParent, PartitionMap, PartitionStrategy, Slot};
 use dgr_sim::{Envelope, Lane, SharedGraph, ThreadedRuntime};
-use dgr_telemetry::{CounterId, Phase, Registry};
+use dgr_telemetry::{CounterId, HeartbeatHandle, Phase, Registry};
 
 use crate::msg::MarkMsg;
 
@@ -118,6 +118,31 @@ pub fn run_mark1_shared_with(
     strategy: PartitionStrategy,
     telem: &Registry,
 ) -> ThreadedMarkStats {
+    run_mark1_shared_observed(
+        shared,
+        num_pes,
+        strategy,
+        telem,
+        &HeartbeatHandle::default(),
+    )
+}
+
+/// [`run_mark1_shared_with`] plus a liveness pulse: the pass brackets an
+/// `M_R` phase on `hb` and the runtime beats delivery progress per work
+/// item, so the `dgr-observe` watchdog can supervise a long pass from
+/// another thread. With the default (no-op) handle this is exactly
+/// [`run_mark1_shared_with`].
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_mark1_shared`].
+pub fn run_mark1_shared_observed(
+    shared: &SharedGraph,
+    num_pes: u16,
+    strategy: PartitionStrategy,
+    telem: &Registry,
+    hb: &HeartbeatHandle,
+) -> ThreadedMarkStats {
     let root = shared.root().expect("marking needs a root");
     let partition = PartitionMap::new(num_pes, shared.capacity(), strategy);
     let done = AtomicBool::new(false);
@@ -127,7 +152,8 @@ pub fn run_mark1_shared_with(
     let epoch = shared.mark_epoch(Slot::R);
 
     let _pass = telem.span(0, 0, Phase::Mr, "mark1_threaded");
-    let envelopes = ThreadedRuntime::new(num_pes).run_with(
+    hb.begin_phase(0, Phase::Mr);
+    let envelopes = ThreadedRuntime::new(num_pes).run_observed(
         vec![route(
             &partition,
             MarkMsg::Mark1 {
@@ -260,7 +286,9 @@ pub fn run_mark1_shared_with(
             });
         },
         telem,
+        hb,
     );
+    hb.end_phase();
     if !done.load(Ordering::Relaxed) {
         // Flight-record before panicking: the runtime is quiescent, so
         // the in-flight set is empty — the event-ring tail and counters

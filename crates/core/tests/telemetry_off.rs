@@ -35,6 +35,25 @@ mod feature_off {
         assert_eq!(std::mem::size_of::<dgr_telemetry::SpanGuard<'_>>(), 0);
     }
 
+    /// The heartbeat handle drivers hold (`GcDriver::attach_heartbeat`,
+    /// the observed threaded entry points) is zero-sized and silent:
+    /// beating it never reaches the shared pulse it was built from.
+    #[test]
+    fn heartbeat_handle_is_zero_sized_and_silent() {
+        use dgr_telemetry::heartbeat::Heartbeat;
+        use dgr_telemetry::{HeartbeatHandle, Phase};
+        assert_eq!(std::mem::size_of::<HeartbeatHandle>(), 0);
+        let pulse = std::sync::Arc::new(Heartbeat::new());
+        let handle = HeartbeatHandle::from_shared(std::sync::Arc::clone(&pulse));
+        assert!(!handle.enabled());
+        handle.begin_phase(1, Phase::Mr);
+        handle.progress(10);
+        handle.end_phase();
+        handle.cycle_done();
+        assert_eq!(pulse.beats(), 0, "no beat reached the shared pulse");
+        assert_eq!(pulse.progress_total(), 0);
+    }
+
     /// Flow stamping adds no bytes to hot-path messages: the causal tag
     /// the threaded runtime pairs with every work item is zero-sized, so
     /// the `(FlowTag, MarkMsg)` it queues has the layout of the bare
@@ -65,6 +84,24 @@ mod feature_off {
 #[cfg(feature = "telemetry")]
 mod feature_on {
     use super::*;
+
+    /// The same handle API, feature-on: every beat reaches the shared
+    /// pulse a watchdog would poll.
+    #[test]
+    fn heartbeat_handle_reaches_the_shared_pulse() {
+        use dgr_telemetry::{HeartbeatHandle, Phase};
+        let handle = HeartbeatHandle::new();
+        assert!(handle.enabled());
+        handle.begin_phase(2, Phase::Mr);
+        handle.progress(10);
+        handle.end_phase();
+        handle.cycle_done();
+        let pulse = handle.shared();
+        assert_eq!(pulse.beats(), 3, "begin + end + cycle_done");
+        assert_eq!(pulse.progress_total(), 10);
+        assert_eq!(pulse.cycle(), 2);
+        assert_eq!(pulse.phase(), None, "back to idle after end_phase");
+    }
 
     #[test]
     fn instrumented_pass_records_events_and_counters() {

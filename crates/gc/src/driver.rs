@@ -7,7 +7,7 @@ use dgr_core::{MarkMsg, RMode};
 use dgr_graph::{MarkParent, Priority, Requester, Slot, Value, VertexSet};
 use dgr_reduction::{RedMsg, RunOutcome, System};
 use dgr_sim::Lane;
-use dgr_telemetry::{CounterId, CycleReport as CycleTelemetry, Phase};
+use dgr_telemetry::{CounterId, CycleReport as CycleTelemetry, HeartbeatHandle, Phase};
 
 use crate::classify::{classify_pending_tasks, deadlocked_vertices, garbage_vertices};
 use crate::report::{CycleReport, GcStats};
@@ -15,6 +15,11 @@ use crate::report::{CycleReport, GcStats};
 /// Bound on the per-cycle telemetry timeline kept by [`GcDriver`]:
 /// long-running drivers retain the most recent this-many cycles.
 pub const TIMELINE_CAP: usize = 4096;
+
+/// Deliveries per liveness-pulse progress beat inside a marking phase:
+/// batching keeps the beat (a clock read) off the per-event path while
+/// staying far below any sane watchdog deadline.
+const HEARTBEAT_BATCH: u64 = 256;
 
 /// Order of the two marking phases within a cycle.
 ///
@@ -90,6 +95,7 @@ pub struct GcDriver {
     stats: GcStats,
     last_report: CycleReport,
     timeline: VecDeque<CycleTelemetry>,
+    heartbeat: HeartbeatHandle,
 }
 
 impl GcDriver {
@@ -102,7 +108,18 @@ impl GcDriver {
             stats: GcStats::default(),
             last_report: CycleReport::default(),
             timeline: VecDeque::new(),
+            heartbeat: HeartbeatHandle::default(),
         }
+    }
+
+    /// Attaches a liveness pulse (e.g. `ObserveHub::heartbeat_handle()`):
+    /// every marking phase boundary, delivery batch and cycle completion
+    /// beats it, so an external watchdog can tell a stalled wave from a
+    /// long one. The default handle is the feature-selected facade — a
+    /// zero-sized no-op without `telemetry` — so unattached drivers pay
+    /// nothing.
+    pub fn attach_heartbeat(&mut self, hb: HeartbeatHandle) {
+        self.heartbeat = hb;
     }
 
     /// Per-cycle telemetry reports (phase wall-clock durations, message
@@ -219,11 +236,13 @@ impl GcDriver {
             self.sys
                 .telemetry()
                 .begin(0, self.cycle, Phase::Mr, "settle");
+            self.heartbeat.begin_phase(self.cycle, Phase::Mr);
             let t = Instant::now();
             self.drive_phase(&mut report, |s| {
                 s.mark_state.r_done && (!run_mt || s.mark_state.t_done)
             });
             telem.settle_us = t.elapsed().as_micros() as u64;
+            self.heartbeat.end_phase();
             self.sys.telemetry().end(0, self.cycle, Phase::Mr, "settle");
         }
         if !report.aborted {
@@ -287,6 +306,7 @@ impl GcDriver {
         self.timeline.push_back(telem);
         self.stats.absorb(&report);
         self.last_report = report.clone();
+        self.heartbeat.cycle_done();
         report
     }
 
@@ -300,9 +320,11 @@ impl GcDriver {
         f: fn(&mut Self, &mut CycleReport),
     ) -> u64 {
         self.sys.telemetry().begin(0, self.cycle, phase, name);
+        self.heartbeat.begin_phase(self.cycle, phase);
         let t = Instant::now();
         f(self, report);
         let us = t.elapsed().as_micros() as u64;
+        self.heartbeat.end_phase();
         self.sys.telemetry().end(0, self.cycle, phase, name);
         us
     }
@@ -314,7 +336,14 @@ impl GcDriver {
         let start_total = self.sys.sim().stats().delivered_total();
         let start_marking = self.sys.sim().stats().delivered(Lane::Marking);
         let mut events = 0u64;
+        // Beat the liveness pulse in batches: one clock read per
+        // HEARTBEAT_BATCH deliveries instead of per event.
+        let mut beats_flushed = 0u64;
         while !done(&self.sys) {
+            if events - beats_flushed >= HEARTBEAT_BATCH {
+                self.heartbeat.progress(events - beats_flushed);
+                beats_flushed = events;
+            }
             // Priority service for marking tasks, so the wave always
             // outpaces a mutator that keeps allocating (Section 6).
             let mut progressed = false;
@@ -352,6 +381,9 @@ impl GcDriver {
                 break;
             }
         }
+        if events > beats_flushed {
+            self.heartbeat.progress(events - beats_flushed);
+        }
         let marking = self.sys.sim().stats().delivered(Lane::Marking) - start_marking;
         report.mark_events += marking;
         report.reduction_events_during_marking +=
@@ -382,7 +414,12 @@ impl GcDriver {
         // deadlocked. M_R, which runs every cycle, stays fully concurrent.
         let start_marking = self.sys.sim().stats().delivered(Lane::Marking);
         let mut events = 0u64;
+        let mut beats_flushed = 0u64;
         while !self.sys.mark_state.t_done {
+            if events - beats_flushed >= HEARTBEAT_BATCH {
+                self.heartbeat.progress(events - beats_flushed);
+                beats_flushed = events;
+            }
             if !self.sys.step_lane(Lane::Marking) {
                 assert!(
                     self.sys.mark_state.t_done,
@@ -398,6 +435,9 @@ impl GcDriver {
                     .expunge(|_, _, msg| msg.as_red().is_some());
                 break;
             }
+        }
+        if events > beats_flushed {
+            self.heartbeat.progress(events - beats_flushed);
         }
         report.mark_events += self.sys.sim().stats().delivered(Lane::Marking) - start_marking;
         report.marked_t = self
@@ -652,6 +692,28 @@ mod tests {
         assert!(events.iter().any(|e| e.name == "M_R"));
         assert!(events.iter().any(|e| e.name == "cycle"));
         assert!(events.iter().any(|e| e.name == "restructure"));
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn attached_heartbeat_beats_through_a_run() {
+        use dgr_telemetry::heartbeat::Heartbeat;
+        use std::sync::Arc;
+        let sys = sum_system(30, SystemConfig::default());
+        let mut gc = GcDriver::new(
+            sys,
+            GcConfig {
+                period: 40,
+                ..Default::default()
+            },
+        );
+        let hb = Arc::new(Heartbeat::new());
+        gc.attach_heartbeat(HeartbeatHandle::from_shared(Arc::clone(&hb)));
+        gc.run();
+        assert!(hb.beats() > 0, "phase boundaries beat the pulse");
+        assert_eq!(hb.cycles_done(), u64::from(gc.stats().cycles));
+        assert!(hb.progress_total() > 0, "deliveries beat the pulse");
+        assert_eq!(hb.phase(), None, "pulse is idle once the run ends");
     }
 
     #[test]

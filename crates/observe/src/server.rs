@@ -1,0 +1,301 @@
+//! A hand-rolled HTTP/1.1 exporter over [`std::net::TcpListener`] — no
+//! dependencies, four routes, one thread:
+//!
+//! * `GET /metrics` — Prometheus text exposition ([`crate::prom`]).
+//! * `GET /status` — JSON: uptime, health, GC progress, census,
+//!   heartbeat, per-PE mailbox depth and high-water.
+//! * `GET /healthz` — `200 ok` in steady state, `503` with the
+//!   watchdog's reason once degraded.
+//! * `GET /graph.dot` — the latest published bounded DOT snapshot.
+//!
+//! Routing is factored into the pure [`respond`] so tests can exercise
+//! every route without a socket; the accept loop only parses the
+//! request line, calls it, and writes the response. Shutdown is the
+//! hub's flag plus a self-connect to unblock `accept`.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use dgr_telemetry::{json_escape, GaugeId};
+
+use crate::hub::{Health, ObserveHub};
+use crate::prom;
+
+/// A response ready to serialize: status code, content type, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code (200, 404, 503, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        404 => "Not Found",
+        503 => "Service Unavailable",
+        _ => "Error",
+    }
+}
+
+impl Response {
+    fn new(status: u16, content_type: &'static str, body: String) -> Self {
+        Response {
+            status,
+            content_type,
+            body,
+        }
+    }
+
+    /// Serializes the full HTTP/1.1 response (headers + body).
+    pub fn to_http(&self) -> String {
+        format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.status,
+            reason_phrase(self.status),
+            self.content_type,
+            self.body.len(),
+            self.body,
+        )
+    }
+}
+
+/// The `/status` JSON document.
+pub fn status_json(hub: &ObserveHub) -> String {
+    let hb = hub.heartbeat();
+    let census = hub.census();
+    let gc = hub.gc();
+    let snap = hub.metrics();
+    let (healthy, reason) = match hub.health() {
+        Health::Ok => (true, String::new()),
+        Health::Degraded(r) => (false, r),
+    };
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"uptime_s\": {:.3},", hub.uptime_s());
+    let _ = writeln!(out, "  \"healthy\": {healthy},");
+    let _ = writeln!(out, "  \"degraded_reason\": \"{}\",", json_escape(&reason));
+    let _ = writeln!(out, "  \"watchdog_incidents\": {},", hub.incidents());
+    let _ = writeln!(out, "  \"scrapes\": {},", hub.scrapes());
+    let _ = writeln!(
+        out,
+        "  \"gc\": {{\"cycles\": {}, \"aborted\": {}, \"reclaimed\": {}, \
+         \"expunged\": {}, \"relaned\": {}, \"deadlocked\": {}}},",
+        gc.cycles, gc.aborted, gc.reclaimed, gc.expunged, gc.relaned, gc.deadlocked,
+    );
+    let _ = writeln!(
+        out,
+        "  \"heartbeat\": {{\"cycle\": {}, \"phase\": \"{}\", \"phase_age_us\": {}, \
+         \"progress\": {}, \"cycles_done\": {}, \"beats\": {}}},",
+        hb.cycle(),
+        hb.phase().map(|p| p.name()).unwrap_or("idle"),
+        hb.phase_age_us(),
+        hb.progress_total(),
+        hb.cycles_done(),
+        hb.beats(),
+    );
+    let _ = writeln!(
+        out,
+        "  \"census\": {{\"vital\": {}, \"eager\": {}, \"reserve\": {}, \
+         \"irrelevant\": {}, \"dangling\": {}, \"total\": {}}},",
+        census.vital,
+        census.eager,
+        census.reserve,
+        census.irrelevant,
+        census.dangling,
+        census.total(),
+    );
+    out.push_str("  \"mailboxes\": [\n");
+    let n = snap.per_pe.len();
+    for (pe, shard) in snap.per_pe.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"pe\": {pe}, \"depth\": {}, \"high_water\": {}}}{}",
+            shard.gauge(GaugeId::MailboxDepth),
+            shard.gauge(GaugeId::MailboxHighWater),
+            if pe + 1 < n { "," } else { "" },
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Routes one request path to its response. Pure: no IO, no health
+/// mutation; the caller records the scrape.
+pub fn respond(path: &str, hub: &ObserveHub) -> Response {
+    // Strip any query string: scrapers add ?format= and friends.
+    let route = path.split('?').next().unwrap_or(path);
+    match route {
+        "/metrics" => Response::new(200, prom::CONTENT_TYPE, prom::render(hub)),
+        "/status" => Response::new(200, "application/json", status_json(hub)),
+        "/healthz" => match hub.health() {
+            Health::Ok => Response::new(200, "text/plain", "ok\n".to_string()),
+            Health::Degraded(r) => Response::new(503, "text/plain", format!("degraded: {r}\n")),
+        },
+        "/graph.dot" => {
+            let dot = hub.dot();
+            let body = if dot.is_empty() {
+                "digraph dgr { /* no snapshot published yet */ }\n".to_string()
+            } else {
+                dot
+            };
+            Response::new(200, "text/vnd.graphviz", body)
+        }
+        _ => Response::new(
+            404,
+            "text/plain",
+            "not found; routes: /metrics /status /healthz /graph.dot\n".to_string(),
+        ),
+    }
+}
+
+/// The running exporter: a bound listener plus its accept-loop thread.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    hub: Arc<ObserveHub>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts serving the hub on a background thread.
+    pub fn bind<A: ToSocketAddrs>(addr: A, hub: Arc<ObserveHub>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let hub2 = Arc::clone(&hub);
+        let handle = thread::Builder::new()
+            .name("dgr-observe-http".into())
+            .spawn(move || accept_loop(listener, hub2))?;
+        Ok(Server {
+            addr: local,
+            hub,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins its thread. Also asks the
+    /// watchdog (which shares the hub's flag) to wind down.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.hub.request_shutdown();
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, hub: Arc<ObserveHub>) {
+    for stream in listener.incoming() {
+        if hub.is_shutdown() {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // Serve inline: scrapes are small, rare and read-only, so one
+        // slow client at a time is acceptable and keeps this threadless.
+        let _ = serve_one(stream, &hub);
+    }
+}
+
+fn serve_one(stream: TcpStream, hub: &ObserveHub) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // "GET /path HTTP/1.1" — anything else falls through to 404.
+    let path = {
+        let mut parts = request_line.split_whitespace();
+        match (parts.next(), parts.next()) {
+            (Some("GET"), Some(p)) => p.to_string(),
+            _ => String::new(),
+        }
+    };
+    // Drain headers so well-behaved clients see a clean close.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    hub.record_scrape();
+    let response = respond(&path, hub);
+    let mut stream = reader.into_inner();
+    stream.write_all(response.to_http().as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hub::CensusSnapshot;
+
+    #[test]
+    fn routes_answer_without_a_socket() {
+        let hub = ObserveHub::new();
+        hub.publish_census(CensusSnapshot {
+            vital: 2,
+            eager: 1,
+            reserve: 0,
+            irrelevant: 3,
+            dangling: 0,
+        });
+        let m = respond("/metrics", &hub);
+        assert_eq!(m.status, 200);
+        assert!(m.body.contains("dgr_task_census{class=\"vital\"} 2"));
+        let s = respond("/status?pretty", &hub);
+        assert_eq!(s.status, 200);
+        assert!(s.body.contains("\"healthy\": true"));
+        assert!(s.body.contains("\"total\": 6"));
+        assert_eq!(respond("/healthz", &hub).status, 200);
+        hub.set_health(Health::Degraded("stall: test".into()));
+        let h = respond("/healthz", &hub);
+        assert_eq!(h.status, 503);
+        assert!(h.body.contains("stall: test"));
+        let d = respond("/graph.dot", &hub);
+        assert_eq!(d.status, 200);
+        assert!(d.body.starts_with("digraph"));
+        assert_eq!(respond("/nope", &hub).status, 404);
+    }
+
+    #[test]
+    fn http_serialization_carries_length_and_reason() {
+        let r = Response::new(503, "text/plain", "degraded\n".into());
+        let http = r.to_http();
+        assert!(http.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(http.contains("Content-Length: 9\r\n"));
+        assert!(http.ends_with("\r\n\r\ndegraded\n"));
+    }
+
+    #[test]
+    fn status_json_escapes_the_degraded_reason() {
+        let hub = ObserveHub::new();
+        hub.set_health(Health::Degraded("bad \"state\"".into()));
+        let s = status_json(&hub);
+        assert!(s.contains("\"degraded_reason\": \"bad \\\"state\\\"\""));
+    }
+}

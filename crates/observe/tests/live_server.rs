@@ -1,0 +1,144 @@
+//! End-to-end exporter tests over real sockets: bind an ephemeral
+//! localhost port, issue raw HTTP/1.1 GETs, and drive the watchdog's
+//! poll loop against a deliberately stalled heartbeat.
+//!
+//! These run in both feature states — the hub's concrete [`Heartbeat`]
+//! and the exposition are always compiled; only the facade handle the
+//! drivers hold is feature-gated, and no driver is involved here.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dgr_observe::{watchdog, CensusSnapshot, ObserveHub, Server, WatchdogConfig};
+use dgr_telemetry::{flight_path, Phase, FLIGHT_DIR_ENV};
+
+/// One raw GET; returns (status, body).
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to exporter");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    (status, body.to_string())
+}
+
+#[test]
+fn every_route_answers_over_a_real_socket() {
+    let hub = Arc::new(ObserveHub::new());
+    hub.publish_census(CensusSnapshot {
+        vital: 5,
+        eager: 0,
+        reserve: 1,
+        irrelevant: 2,
+        dangling: 0,
+    });
+    hub.publish_dot("digraph dgr { v0 -> v1; }\n".to_string());
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&hub)).expect("bind ephemeral port");
+    let addr = server.addr();
+
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("dgr_task_census{class=\"vital\"} 5"));
+    assert!(metrics.contains("dgr_uptime_seconds"));
+
+    let (status, body) = get(addr, "/status");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"healthy\": true"));
+    assert!(body.contains("\"total\": 8"));
+
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+
+    let (status, body) = get(addr, "/graph.dot");
+    assert_eq!(status, 200);
+    assert!(body.contains("v0 -> v1"));
+
+    assert_eq!(get(addr, "/nope").0, 404);
+    assert!(hub.scrapes() >= 5, "every request was counted");
+    server.shutdown();
+}
+
+/// Polls `path` until `want` comes back or the deadline passes.
+fn poll_for_status(addr: SocketAddr, path: &str, want: u16, deadline: Duration) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < deadline {
+        if get(addr, path).0 == want {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+/// The full degradation round trip, driven by the real poll loop: a
+/// phase goes silent past the deadline, `/healthz` flips to 503, a
+/// flight dump lands in `$DGR_FLIGHT_DIR`, and a fresh beat recovers it
+/// to 200. This is the only test in the binary touching the flight-dir
+/// environment variable (mirroring the recorder's own test), so the
+/// process-global `set_var` cannot race another reader.
+#[test]
+fn a_stalled_phase_degrades_healthz_and_dumps_flight() {
+    let dir = std::env::temp_dir().join(format!("dgr-observe-flight-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create flight dir");
+    std::env::set_var(FLIGHT_DIR_ENV, &dir);
+    let _ = std::fs::remove_file(flight_path(0));
+
+    let hub = Arc::new(ObserveHub::new());
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&hub)).expect("bind ephemeral port");
+    let addr = server.addr();
+    let dog = watchdog::spawn(
+        Arc::clone(&hub),
+        WatchdogConfig {
+            stall_timeout_ms: 20,
+            poll_ms: 10,
+            ..Default::default()
+        },
+    );
+
+    // Nothing attached yet: healthy.
+    assert_eq!(get(addr, "/healthz").0, 200);
+
+    // A phase begins on the hub's concrete pulse, then goes silent.
+    hub.heartbeat().begin_phase(7, Phase::Mr);
+    assert!(
+        poll_for_status(addr, "/healthz", 503, Duration::from_secs(5)),
+        "healthz never degraded on a silent phase"
+    );
+    let (_, body) = get(addr, "/healthz");
+    assert!(body.contains("stall:"), "got: {body}");
+    assert_eq!(hub.incidents(), 1);
+    assert!(
+        flight_path(0).exists(),
+        "no flight dump at {}",
+        flight_path(0).display()
+    );
+    let dump = std::fs::read_to_string(flight_path(0)).expect("read flight dump");
+    assert!(
+        dump.contains("\"reason\": \"stall:"),
+        "dump names the stall"
+    );
+
+    // A fresh beat recovers health; the incident counter is monotone.
+    hub.heartbeat().end_phase();
+    assert!(
+        poll_for_status(addr, "/healthz", 200, Duration::from_secs(5)),
+        "healthz never recovered after the phase ended"
+    );
+    assert_eq!(hub.incidents(), 1);
+
+    server.shutdown();
+    dog.join().expect("watchdog thread exits on shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,222 @@
+//! Golden scrape: pins the shape of the `/metrics` exposition.
+//!
+//! Three contracts, all feature-independent (the exposition renders the
+//! always-compiled concrete snapshot types):
+//!
+//! * **Determinism** — two renders of the same hub state are identical
+//!   once the two wall-clock gauges (uptime, phase age) are masked.
+//! * **Name lint** — every family and sample name matches the
+//!   Prometheus charset `[a-zA-Z_:][a-zA-Z0-9_:]*`, every label name
+//!   matches `[a-zA-Z_][a-zA-Z0-9_]*`, and every sample belongs to a
+//!   family declared by a preceding `# TYPE` line.
+//! * **Structure** — families appear in the fixed enum order, counters
+//!   end in `_total`, histograms carry `_bucket`/`_sum`/`_count` plus
+//!   the three quantile gauges.
+
+use dgr_observe::{render, CensusSnapshot, GcProgress, ObserveHub};
+use dgr_telemetry::active::Registry;
+use dgr_telemetry::{CounterId, GaugeId, HistId, Phase};
+
+/// A hub with every section populated: a 2-PE snapshot with counter,
+/// gauge and histogram traffic, a census, GC progress, and a heartbeat
+/// mid-phase.
+fn populated_hub() -> ObserveHub {
+    let reg = Registry::new(2);
+    reg.pe(0).inc(CounterId::Tasks);
+    reg.pe(0).add(CounterId::MarkEvents, 41);
+    reg.pe(1).inc(CounterId::SendsRemote);
+    reg.pe(0).gauge_set(GaugeId::MailboxDepth, 3);
+    reg.pe(1).gauge_set(GaugeId::MailboxHighWater, 17);
+    for v in [1u64, 2, 8, 300] {
+        reg.pe(0).observe(HistId::BatchSize, v);
+        reg.pe(1).observe(HistId::CycleUs, v * 10);
+    }
+    let hub = ObserveHub::new();
+    hub.publish_metrics(reg.snapshot());
+    hub.publish_census(CensusSnapshot {
+        vital: 4,
+        eager: 3,
+        reserve: 2,
+        irrelevant: 1,
+        dangling: 0,
+    });
+    hub.publish_gc(GcProgress {
+        cycles: 12,
+        reclaimed: 340,
+        ..Default::default()
+    });
+    hub.heartbeat().begin_phase(12, Phase::Mr);
+    hub.heartbeat().progress(99);
+    hub
+}
+
+/// Strips the two samples whose value is a wall-clock reading and so
+/// legitimately differs between renders.
+fn mask_clock_lines(text: &str) -> String {
+    text.lines()
+        .filter(|l| {
+            !l.starts_with("dgr_uptime_seconds ")
+                && !l.starts_with("dgr_heartbeat_phase_age_seconds ")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn rendering_the_same_hub_twice_is_byte_identical() {
+    let hub = populated_hub();
+    let (a, b) = (render(&hub), render(&hub));
+    assert_eq!(mask_clock_lines(&a), mask_clock_lines(&b));
+}
+
+fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// The family a sample belongs to: histogram series drop their
+/// `_bucket`/`_sum`/`_count` suffix, everything else is its own family.
+fn family_of(sample: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = sample.strip_suffix(suffix) {
+            return base;
+        }
+    }
+    sample
+}
+
+#[test]
+fn every_name_passes_the_prometheus_charset_lint() {
+    let hub = populated_hub();
+    let text = render(&hub);
+    let mut declared = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.split_whitespace();
+            let (keyword, name) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+            assert!(
+                keyword == "HELP" || keyword == "TYPE",
+                "unknown comment keyword in: {line}"
+            );
+            assert!(is_valid_metric_name(name), "bad family name: {name}");
+            if keyword == "TYPE" {
+                assert!(
+                    declared.insert(name.to_string()),
+                    "family {name} declared twice"
+                );
+            }
+            continue;
+        }
+        // A sample: `name value` or `name{label="v",...} value`.
+        let name_end = line.find(['{', ' ']).unwrap_or(line.len());
+        let sample = &line[..name_end];
+        assert!(is_valid_metric_name(sample), "bad sample name: {sample}");
+        assert!(
+            declared.contains(family_of(sample)) || declared.contains(sample),
+            "sample {sample} has no preceding # TYPE declaration"
+        );
+        if let Some(open) = line.find('{') {
+            let close = line.rfind('}').expect("unterminated label set");
+            for pair in line[open + 1..close].split(',') {
+                let (label, value) = pair.split_once('=').expect("label without =");
+                assert!(is_valid_label_name(label), "bad label name: {label}");
+                assert!(
+                    value.starts_with('"') && value.ends_with('"'),
+                    "unquoted label value in: {line}"
+                );
+            }
+        }
+    }
+    assert!(!declared.is_empty(), "exposition declared no families");
+}
+
+#[test]
+fn families_follow_the_fixed_enum_order() {
+    let hub = populated_hub();
+    let text = render(&hub);
+    // One representative per section, in the order render() emits them.
+    let landmarks = [
+        "# TYPE dgr_tasks_total counter",
+        "# TYPE dgr_relaned_total counter",
+        "# TYPE dgr_mailbox_depth gauge",
+        "# TYPE dgr_batch_size histogram",
+        "# TYPE dgr_batch_size_quantile gauge",
+        "# TYPE dgr_cycle_us histogram",
+        "# TYPE dgr_task_census gauge",
+        "# TYPE dgr_gc_cycles_total counter",
+        "# TYPE dgr_heartbeat_cycle gauge",
+        "# TYPE dgr_watchdog_healthy gauge",
+        "# TYPE dgr_scrapes_total counter",
+        "# TYPE dgr_uptime_seconds gauge",
+    ];
+    let mut last = 0;
+    for mark in landmarks {
+        let at = text.find(mark).unwrap_or_else(|| panic!("missing: {mark}"));
+        assert!(at >= last, "{mark} out of order");
+        last = at;
+    }
+}
+
+#[test]
+fn samples_carry_the_published_values() {
+    let hub = populated_hub();
+    let text = render(&hub);
+    assert!(text.contains("dgr_tasks_total{pe=\"0\"} 1\n"));
+    assert!(text.contains("dgr_mark_events_total{pe=\"0\"} 41\n"));
+    assert!(text.contains("dgr_sends_remote_total{pe=\"1\"} 1\n"));
+    assert!(text.contains("dgr_mailbox_depth{pe=\"0\"} 3\n"));
+    assert!(text.contains("dgr_mailbox_high_water{pe=\"1\"} 17\n"));
+    assert!(text.contains("dgr_batch_size_count 4\n"));
+    assert!(text.contains("dgr_batch_size_sum 311\n"));
+    for q in ["0.5", "0.9", "0.99"] {
+        assert!(
+            text.contains(&format!("dgr_batch_size_quantile{{q=\"{q}\"}}")),
+            "missing batch_size quantile {q}"
+        );
+        assert!(
+            text.contains(&format!("dgr_cycle_us_quantile{{q=\"{q}\"}}")),
+            "missing cycle_us quantile {q}"
+        );
+    }
+    assert!(text.contains("dgr_task_census{class=\"vital\"} 4\n"));
+    assert!(text.contains("dgr_gc_cycles_total 12\n"));
+    assert!(text.contains("dgr_gc_reclaimed_total 340\n"));
+    assert!(text.contains("dgr_heartbeat_cycle 12\n"));
+    assert!(text.contains("dgr_heartbeat_phase_active 1\n"));
+    assert!(text.contains("dgr_heartbeat_progress_total 99\n"));
+    assert!(text.contains("dgr_watchdog_healthy 1\n"));
+    assert!(text.contains("dgr_watchdog_incidents_total 0\n"));
+}
+
+#[test]
+fn counter_families_end_in_total() {
+    let hub = populated_hub();
+    let text = render(&hub);
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (name, kind) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+            if kind == "counter" {
+                assert!(name.ends_with("_total"), "counter {name} not *_total");
+            } else {
+                assert!(!name.ends_with("_total"), "{kind} {name} claims *_total");
+            }
+        }
+    }
+}

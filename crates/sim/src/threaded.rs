@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dgr_graph::PeId;
-use dgr_telemetry::{CounterId, FlowTag, GaugeId, HistId, Phase, Registry};
+use dgr_telemetry::{CounterId, FlowTag, GaugeId, HeartbeatHandle, HistId, Phase, Registry};
 
 use crate::msg::{Envelope, Lane};
 
@@ -214,6 +214,26 @@ impl ThreadedRuntime {
         M: Send + 'static,
         F: Fn(&ThreadCtx<'_, M>, M) + Sync,
     {
+        self.run_observed(initial, handler, telem, &HeartbeatHandle::default())
+    }
+
+    /// [`ThreadedRuntime::run_with`] plus a liveness pulse: every handled
+    /// work item beats `hb` with its message count, so an external
+    /// watchdog (the `dgr-observe` plane) can tell a stalled run from a
+    /// long one. The default handle is the feature-selected facade — the
+    /// zero-sized no-op without `telemetry` — making this exactly
+    /// [`ThreadedRuntime::run_with`] in a default build.
+    pub fn run_observed<M, F>(
+        &self,
+        initial: Vec<Envelope<M>>,
+        handler: F,
+        telem: &Registry,
+        hb: &HeartbeatHandle,
+    ) -> u64
+    where
+        M: Send + 'static,
+        F: Fn(&ThreadCtx<'_, M>, M) + Sync,
+    {
         let n = self.num_pes as usize;
         let mut senders = Vec::with_capacity(n);
         let mut receivers: Vec<Receiver<WorkItem<M>>> = Vec::with_capacity(n);
@@ -311,6 +331,10 @@ impl ThreadedRuntime {
                         let shard = ctx.telem.pe(ctx.me.raw());
                         shard.add(CounterId::Tasks, msgs);
                         shard.gauge_add(GaugeId::MailboxDepth, -(msgs as i64));
+                        // One beat per work item (not per message): the
+                        // pulse's clock read stays off the per-message
+                        // path, and a no-op handle compiles this away.
+                        hb.progress(msgs);
                         // Relaxed: only read after thread::scope joins,
                         // which synchronizes all workers' writes.
                         handled_total.fetch_add(msgs, Ordering::Relaxed);

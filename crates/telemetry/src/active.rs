@@ -12,9 +12,10 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use crate::heartbeat::Heartbeat;
 use crate::ids::{CounterId, GaugeId, HistId, Phase};
 use crate::metrics::{Counter, Gauge, HistSnapshot, Histogram, MetricsSnapshot, PeSnapshot};
 use crate::ring::{Event, EventKind, EventRing};
@@ -34,6 +35,59 @@ impl FlowTag {
     /// The "no flow" tag: carried by messages that are not stamped and
     /// ignored on delivery.
     pub const NONE: FlowTag = FlowTag(0);
+}
+
+/// The recording handle instrumented drivers beat their liveness pulse
+/// through: a cloneable `Arc` around a concrete
+/// [`Heartbeat`](crate::heartbeat::Heartbeat).
+///
+/// The noop counterpart is zero-sized, so a driver field holding one
+/// costs nothing in a default build. An observer (the `dgr-observe`
+/// watchdog) reads the shared concrete heartbeat from another thread.
+#[derive(Debug, Clone, Default)]
+pub struct HeartbeatHandle(Arc<Heartbeat>);
+
+impl HeartbeatHandle {
+    /// A handle around a fresh heartbeat.
+    pub fn new() -> Self {
+        HeartbeatHandle::default()
+    }
+
+    /// Wraps an existing shared heartbeat (how an observability hub
+    /// hands its pulse to a driver).
+    pub fn from_shared(hb: Arc<Heartbeat>) -> Self {
+        HeartbeatHandle(hb)
+    }
+
+    /// The shared concrete heartbeat behind this handle.
+    pub fn shared(&self) -> Arc<Heartbeat> {
+        Arc::clone(&self.0)
+    }
+
+    /// `true`: beats are recorded.
+    pub fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records that a marking phase of `cycle` entered force.
+    pub fn begin_phase(&self, cycle: u32, phase: Phase) {
+        self.0.begin_phase(cycle, phase);
+    }
+
+    /// Records that the current phase left force.
+    pub fn end_phase(&self) {
+        self.0.end_phase();
+    }
+
+    /// Records `n` more deliveries.
+    pub fn progress(&self, n: u64) {
+        self.0.progress(n);
+    }
+
+    /// Records a completed mark-and-restructure cycle.
+    pub fn cycle_done(&self) {
+        self.0.cycle_done();
+    }
 }
 
 /// One PE's metrics and event ring.

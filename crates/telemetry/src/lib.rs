@@ -33,6 +33,7 @@
 pub mod active;
 pub mod cycle;
 pub mod flight;
+pub mod heartbeat;
 pub mod ids;
 pub mod metrics;
 pub mod noop;
@@ -41,18 +42,20 @@ pub mod trace;
 
 pub use cycle::{timeline_json, timeline_text, CycleReport};
 pub use flight::{flight_json, flight_path, write_flight, FLIGHT_DIR_ENV};
+pub use heartbeat::Heartbeat;
 pub use ids::{CounterId, GaugeId, HistId, Phase};
 pub use metrics::{
-    bucket_index, bucket_label, HistSnapshot, MetricsSnapshot, PeSnapshot, HIST_BUCKETS,
+    bucket_index, bucket_label, bucket_lower_edge, bucket_upper_edge, HistSnapshot,
+    MetricsSnapshot, PeSnapshot, HIST_BUCKETS,
 };
 pub use ring::{Event, EventKind};
-pub use trace::{chrome_trace_json, events_jsonl};
+pub use trace::{chrome_trace_json, events_jsonl, json_escape};
 
 #[cfg(feature = "telemetry")]
-pub use active::{FlowTag, PeShard, Registry, SpanGuard};
+pub use active::{FlowTag, HeartbeatHandle, PeShard, Registry, SpanGuard};
 
 #[cfg(not(feature = "telemetry"))]
-pub use noop::{FlowTag, PeShard, Registry, SpanGuard};
+pub use noop::{FlowTag, HeartbeatHandle, PeShard, Registry, SpanGuard};
 
 /// `true` when this build records telemetry (the `telemetry` feature is
 /// on), `false` when [`Registry`] is the zero-sized no-op.

@@ -85,6 +85,39 @@ pub fn bucket_index(v: u64) -> usize {
     }
 }
 
+/// Inclusive lower edge of a bucket: the smallest value that lands in
+/// bucket `i` (see [`bucket_index`]).
+///
+/// # Panics
+///
+/// Panics if `i >= HIST_BUCKETS`.
+pub fn bucket_lower_edge(i: usize) -> u64 {
+    assert!(i < HIST_BUCKETS);
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Inclusive upper edge of a bucket: the largest value that lands in
+/// bucket `i`. The last bucket is open-ended, so its edge is `u64::MAX`;
+/// quantile estimation substitutes the observed maximum there.
+///
+/// # Panics
+///
+/// Panics if `i >= HIST_BUCKETS`.
+pub fn bucket_upper_edge(i: usize) -> u64 {
+    assert!(i < HIST_BUCKETS);
+    if i == 0 {
+        0
+    } else if i == HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
 /// Human-readable range label for a bucket index.
 ///
 /// # Panics
@@ -176,6 +209,43 @@ impl HistSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by locating the bucket
+    /// holding the rank-`⌈q·count⌉` observation and interpolating
+    /// linearly inside it.
+    ///
+    /// The estimate is always bounded by the edges of that bucket
+    /// ([`bucket_lower_edge`] / [`bucket_upper_edge`], with the observed
+    /// maximum standing in for the open upper edge of the last bucket) —
+    /// the error is therefore at most one power of two, which is the
+    /// resolution the histogram stores. Returns 0 when empty; `q` outside
+    /// `[0, 1]` clamps to the extremes.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            if cum >= rank {
+                let lo = bucket_lower_edge(i);
+                let hi = if i == HIST_BUCKETS - 1 {
+                    self.max.max(lo)
+                } else {
+                    bucket_upper_edge(i)
+                };
+                // Position of the rank within this bucket, in (0, 1].
+                let into = rank - (cum - c);
+                let frac = into as f64 / c as f64;
+                return lo + ((hi - lo) as f64 * frac).round() as u64;
+            }
+        }
+        self.max
     }
 }
 
@@ -327,6 +397,82 @@ mod tests {
         assert_eq!(s.buckets[2], 2);
         assert_eq!(s.buckets[bucket_index(900)], 1);
         assert!((s.mean() - 181.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_edges_bracket_their_members() {
+        for i in 0..HIST_BUCKETS {
+            let lo = bucket_lower_edge(i);
+            assert_eq!(bucket_index(lo), i, "lower edge of bucket {i}");
+            if i < HIST_BUCKETS - 1 {
+                assert_eq!(
+                    bucket_index(bucket_upper_edge(i)),
+                    i,
+                    "upper edge of bucket {i}"
+                );
+            }
+        }
+        assert_eq!(bucket_upper_edge(HIST_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_bounded_by_bucket_edges() {
+        let h = Histogram::new();
+        let values = [1u64, 2, 3, 5, 8, 13, 21, 900, 900, 40000];
+        for &v in &values {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        let mut sorted = values;
+        sorted.sort_unstable();
+        for (qi, q) in [(0usize, 0.1), (4, 0.5), (8, 0.9)] {
+            let truth = sorted[qi];
+            let est = s.quantile(q);
+            let b = bucket_index(truth);
+            assert!(
+                est >= bucket_lower_edge(b) && est <= bucket_upper_edge(b),
+                "q={q}: estimate {est} escaped bucket {b} of true value {truth}"
+            );
+        }
+        // The top quantile of the open last bucket is capped at the
+        // observed maximum, not the bucket's infinite edge.
+        assert_eq!(s.quantile(1.0), 40000);
+        assert_eq!(s.quantile(2.0), 40000, "q clamps high");
+        // q <= 0 clamps to the smallest observation's bucket.
+        let low = s.quantile(0.0);
+        assert!(low >= 1 && low <= bucket_upper_edge(bucket_index(1)));
+    }
+
+    #[test]
+    fn quantile_of_empty_and_uniform_histograms() {
+        assert_eq!(HistSnapshot::default().quantile(0.5), 0);
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.observe(7);
+        }
+        let s = h.snapshot();
+        for q in [0.01, 0.5, 0.99] {
+            let est = s.quantile(q);
+            assert!(
+                (4..=7).contains(&est),
+                "all-sevens estimate {est} in bucket [4,7]"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let h = Histogram::new();
+        for v in 0..1000u64 {
+            h.observe(v * v % 5000);
+        }
+        let s = h.snapshot();
+        let mut last = 0;
+        for i in 0..=20 {
+            let est = s.quantile(i as f64 / 20.0);
+            assert!(est >= last, "quantile must not decrease");
+            last = est;
+        }
     }
 
     #[test]

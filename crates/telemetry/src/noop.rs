@@ -23,6 +23,58 @@ impl FlowTag {
     pub const NONE: FlowTag = FlowTag;
 }
 
+/// No-op counterpart of
+/// [`active::HeartbeatHandle`](crate::active::HeartbeatHandle).
+///
+/// Zero-sized: a driver field holding one adds no bytes and every beat
+/// compiles away. [`HeartbeatHandle::shared`] still returns a (fresh,
+/// never-beaten) concrete heartbeat so observer code written against the
+/// facade type-checks in both feature states.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeartbeatHandle;
+
+impl HeartbeatHandle {
+    /// A no-op handle.
+    #[inline(always)]
+    pub fn new() -> Self {
+        HeartbeatHandle
+    }
+
+    /// Ignores the shared heartbeat (nothing will beat it).
+    #[inline(always)]
+    pub fn from_shared(_hb: std::sync::Arc<crate::heartbeat::Heartbeat>) -> Self {
+        HeartbeatHandle
+    }
+
+    /// A fresh, never-beaten heartbeat (no state is shared).
+    #[inline(always)]
+    pub fn shared(&self) -> std::sync::Arc<crate::heartbeat::Heartbeat> {
+        std::sync::Arc::new(crate::heartbeat::Heartbeat::new())
+    }
+
+    /// `false`: nothing is recorded.
+    #[inline(always)]
+    pub fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn begin_phase(&self, _cycle: u32, _phase: Phase) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn end_phase(&self) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn progress(&self, _n: u64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn cycle_done(&self) {}
+}
+
 /// No-op counterpart of [`active::PeShard`](crate::active::PeShard).
 #[derive(Debug)]
 pub struct PeShard;
@@ -191,6 +243,21 @@ mod tests {
         assert_eq!(std::mem::size_of::<PeShard>(), 0);
         assert_eq!(std::mem::size_of::<SpanGuard<'_>>(), 0);
         assert_eq!(std::mem::size_of::<FlowTag>(), 0);
+        assert_eq!(std::mem::size_of::<HeartbeatHandle>(), 0);
+    }
+
+    #[test]
+    fn noop_heartbeat_beats_nothing() {
+        let hb = HeartbeatHandle::new();
+        assert!(!hb.enabled());
+        hb.begin_phase(1, Phase::Mr);
+        hb.progress(10);
+        hb.end_phase();
+        hb.cycle_done();
+        let shared = hb.shared();
+        assert_eq!(shared.beats(), 0, "no beat ever reaches the shared pulse");
+        assert_eq!(shared.progress_total(), 0);
+        assert_eq!(shared.phase(), None);
     }
 
     #[test]

@@ -8,8 +8,10 @@
 
 use crate::ring::{Event, EventKind};
 
-/// Escapes a string for inclusion in a JSON string literal.
-pub(crate) fn json_escape(s: &str) -> String {
+/// Escapes a string for inclusion in a JSON string literal (shared by
+/// every hand-rolled JSON renderer in the workspace, `dgr-observe`'s
+/// `/status` endpoint included).
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -1,0 +1,95 @@
+//! Property tests for power-of-two histogram quantile estimation: an
+//! estimate must always land inside the bucket that actually contains
+//! the requested rank, and walking q upward must never walk the
+//! estimate downward.
+
+use dgr_telemetry::metrics::{
+    bucket_index, bucket_lower_edge, bucket_upper_edge, Histogram, HIST_BUCKETS,
+};
+use proptest::prelude::*;
+
+/// The true rank-th smallest observation (rank is 1-based).
+fn true_rank_value(values: &[u64], rank: usize) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn estimates_stay_inside_the_rank_bucket(
+        values in proptest::collection::vec(0u64..200_000, 1..300),
+        q_times_100 in 0u64..101,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        let q = q_times_100 as f64 / 100.0;
+        let est = s.quantile(q);
+
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let truth = true_rank_value(&values, rank);
+        let b = bucket_index(truth);
+        let lo = bucket_lower_edge(b);
+        let hi = if b == HIST_BUCKETS - 1 {
+            s.max
+        } else {
+            bucket_upper_edge(b)
+        };
+        prop_assert!(
+            est >= lo && est <= hi,
+            "q={} rank={} truth={} (bucket {} [{}, {}]) but estimate={}",
+            q, rank, truth, b, lo, hi, est
+        );
+    }
+
+    #[test]
+    fn estimates_are_monotone_and_bounded_by_max(
+        values in proptest::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        let mut last = 0u64;
+        for step in 0..=20u64 {
+            let est = s.quantile(step as f64 / 20.0);
+            prop_assert!(est >= last, "quantile decreased at q={}", step as f64 / 20.0);
+            prop_assert!(est <= s.max, "estimate exceeded the observed maximum");
+            last = est;
+        }
+    }
+
+    #[test]
+    fn merged_snapshot_quantiles_match_a_global_histogram(
+        a in proptest::collection::vec(0u64..50_000, 1..100),
+        b in proptest::collection::vec(0u64..50_000, 1..100),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let global = Histogram::new();
+        for &v in &a {
+            ha.observe(v);
+            global.observe(v);
+        }
+        for &v in &b {
+            hb.observe(v);
+            global.observe(v);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        for q_times_10 in 0..=10u64 {
+            let q = q_times_10 as f64 / 10.0;
+            prop_assert_eq!(
+                merged.quantile(q),
+                global.snapshot().quantile(q),
+                "merge changed the q={} estimate", q
+            );
+        }
+    }
+}

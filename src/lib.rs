@@ -20,6 +20,7 @@
 //! | [`workloads`] | `dgr-workloads` | graph/program/churn/mutation generators |
 //! | [`baseline`] | `dgr-baseline` | reference counting, stop-the-world, non-cooperating marking |
 //! | [`telemetry`] | `dgr-telemetry` | zero-dependency metrics, traces, cycle timelines (feature `telemetry`) |
+//! | [`observe`] | `dgr-observe` | live plane: `/metrics` exporter, status endpoint, progress watchdog |
 //!
 //! # Quickstart
 //!
@@ -43,6 +44,7 @@ pub use dgr_core as marking;
 pub use dgr_gc as gc;
 pub use dgr_graph as graph;
 pub use dgr_lang as lang;
+pub use dgr_observe as observe;
 pub use dgr_reduction as reduction;
 pub use dgr_sim as sim;
 pub use dgr_telemetry as telemetry;
