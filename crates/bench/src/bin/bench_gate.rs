@@ -1,9 +1,11 @@
 //! Bench regression gate: diffs a freshly generated `BENCH_*.json`
-//! against the committed baseline.
+//! against the committed baseline, and gates the derived `speedup`
+//! metric of multi-PE benchmarks.
 //!
 //! ```text
-//! bench_gate <baseline.json> <fresh.json> [--tolerance-pct N]
-//! # e.g. bench_gate baselines/BENCH_marking.json BENCH_marking.json
+//! bench_gate <baseline.json> <fresh.json> [--tolerance-pct N] [--min-speedup X]
+//! bench_gate --speedup-only <fresh.json> [--min-speedup X]
+//! # e.g. bench_gate baselines/BENCH_scalability.json BENCH_scalability.json --min-speedup 4
 //! ```
 //!
 //! The committed reference copies live under `baselines/` (tracked);
@@ -17,18 +19,38 @@
 //! committed baselines are hot-path numbers: regenerate the fresh side
 //! with `--no-default-features` (telemetry off), since recording and
 //! flow stamping carry a real, intended cost the gate must not count as
-//! a regression. Exit
-//! code is non-zero on any regression, missing record, or count
-//! mismatch, so CI can surface it — the workflow step is marked
-//! non-blocking and the exit code shows up as an annotation rather than
-//! a failed build.
+//! a regression.
+//!
+//! For benchmark families that vary only in `pes`, the gate derives
+//! `speedup(N) = wall_us[1 PE] / wall_us[N PEs]` from the fresh file and,
+//! under `--min-speedup X`, requires the best multi-PE speedup of each
+//! family to reach `min(X, available_parallelism)` — wall-clock speedup
+//! physically cannot exceed the host's hardware threads, so a 4x target
+//! degrades to a no-anti-scaling check on a single-core container
+//! (`min(4, 1) = 1`, met by any profile that does not lose to serial).
+//! `--speedup-family <substr>` restricts the gate to families whose name
+//! contains the substring (others still print, ungated): the tree
+//! workloads are the locality showcase the 4x target is about, while the
+//! random digraph is communication-bound by construction and cannot beat
+//! serial on a time-sliced host. `--speedup-only` skips the baseline
+//! diff entirely (a fresh file is the only input) — the CI scalability
+//! smoke job uses this mode.
+//!
+//! Exit code is non-zero on any regression, missing record, count
+//! mismatch, or failed speedup gate, so CI can surface it — the
+//! workflow step is marked non-blocking and the exit code shows up as
+//! an annotation rather than a failed build.
 
 use std::process::ExitCode;
 
-/// One benchmark record: identity key plus the two measures we gate.
+/// One benchmark record: identity key plus the measures we gate.
 #[derive(Debug, Clone, PartialEq)]
 struct Record {
     key: String,
+    /// Benchmark family (key minus the `/peN` suffix): records in one
+    /// family differ only in PE count and form one speedup curve.
+    family: String,
+    pes: u64,
     messages: u64,
     wall_us: f64,
 }
@@ -57,9 +79,13 @@ fn parse(path: &str) -> Result<Vec<Record>, String> {
             continue;
         };
         let vertices = field(line, "vertices").unwrap_or("?");
-        let pes = field(line, "pes").unwrap_or("?");
+        let pes = field(line, "pes")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
         out.push(Record {
             key: format!("{bench}/v{vertices}/pe{pes}"),
+            family: format!("{bench}/v{vertices}"),
+            pes,
             messages,
             wall_us: wall,
         });
@@ -70,78 +96,192 @@ fn parse(path: &str) -> Result<Vec<Record>, String> {
     Ok(out)
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let tolerance_pct: f64 = args
-        .iter()
-        .position(|a| a == "--tolerance-pct")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(50.0);
-    let files: Vec<&String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--") && a.parse::<f64>().is_err())
-        .collect();
-    let [baseline_path, fresh_path] = files[..] else {
-        eprintln!("usage: bench_gate <baseline.json> <fresh.json> [--tolerance-pct N]");
-        return ExitCode::FAILURE;
-    };
-    let (baseline, fresh) = match (parse(baseline_path), parse(fresh_path)) {
-        (Ok(b), Ok(f)) => (b, f),
-        (b, f) => {
-            for e in [b.err(), f.err()].into_iter().flatten() {
-                eprintln!("{e}");
-            }
-            return ExitCode::FAILURE;
-        }
-    };
+/// Derived speedup curve of one benchmark family: the serial wall time
+/// and the best `(pes, speedup)` among the multi-PE records.
+struct Curve {
+    family: String,
+    serial_us: f64,
+    best_pes: u64,
+    best_speedup: f64,
+}
 
-    println!("bench gate: {fresh_path} vs baseline {baseline_path} (tolerance {tolerance_pct}%)");
-    println!(
-        "{:<44} {:>12} {:>12} {:>8}  status",
-        "benchmark", "base us", "fresh us", "delta"
-    );
-    let mut failures = 0u32;
-    for base in &baseline {
-        let Some(new) = fresh.iter().find(|r| r.key == base.key) else {
-            println!(
-                "{:<44} {:>12} {:>12} {:>8}  MISSING",
-                base.key, base.wall_us, "-", "-"
-            );
-            failures += 1;
+/// Derives `wall[1 PE] / wall[N PEs]` per family. Families without a
+/// 1-PE record or without any multi-PE record have no curve.
+fn speedup_curves(records: &[Record]) -> Vec<Curve> {
+    let mut out: Vec<Curve> = Vec::new();
+    for r in records {
+        if r.pes != 1 || r.wall_us <= 0.0 {
             continue;
+        }
+        let mut best: Option<(u64, f64)> = None;
+        for m in records.iter().filter(|m| m.family == r.family && m.pes > 1) {
+            let s = r.wall_us / m.wall_us;
+            if best.is_none_or(|(_, b)| s > b) {
+                best = Some((m.pes, s));
+            }
+        }
+        if let Some((best_pes, best_speedup)) = best {
+            out.push(Curve {
+                family: r.family.clone(),
+                serial_us: r.wall_us,
+                best_pes,
+                best_speedup,
+            });
+        }
+    }
+    out
+}
+
+const USAGE: &str = "usage: bench_gate <baseline.json> <fresh.json> [--tolerance-pct N] \
+                     [--min-speedup X] [--speedup-family SUBSTR]\n       \
+                     bench_gate --speedup-only <fresh.json> [--min-speedup X] \
+                     [--speedup-family SUBSTR]";
+
+fn main() -> ExitCode {
+    let mut tolerance_pct = 50.0;
+    let mut min_speedup: Option<f64> = None;
+    let mut family_filter: Option<String> = None;
+    let mut speedup_only = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance-pct" => {
+                tolerance_pct = it.next().and_then(|v| v.parse().ok()).unwrap_or(50.0);
+            }
+            "--min-speedup" => min_speedup = it.next().and_then(|v| v.parse().ok()),
+            "--speedup-family" => family_filter = it.next(),
+            "--speedup-only" => speedup_only = true,
+            _ if a.starts_with("--") => {
+                eprintln!("bench_gate: unknown flag {a}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            _ => files.push(a),
+        }
+    }
+
+    let mut failures = 0u32;
+    let fresh = if speedup_only {
+        let [fresh_path] = &files[..] else {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
         };
-        let delta_pct = if base.wall_us > 0.0 {
-            (new.wall_us - base.wall_us) / base.wall_us * 100.0
-        } else {
-            0.0
+        match parse(fresh_path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let [baseline_path, fresh_path] = &files[..] else {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
         };
-        let status = if new.messages != base.messages {
-            failures += 1;
-            format!("COUNT {} != {}", new.messages, base.messages)
-        } else if delta_pct > tolerance_pct {
-            failures += 1;
-            "REGRESSED".to_string()
-        } else {
-            "ok".to_string()
+        let (baseline, fresh) = match (parse(baseline_path), parse(fresh_path)) {
+            (Ok(b), Ok(f)) => (b, f),
+            (b, f) => {
+                for e in [b.err(), f.err()].into_iter().flatten() {
+                    eprintln!("{e}");
+                }
+                return ExitCode::FAILURE;
+            }
         };
         println!(
-            "{:<44} {:>12.1} {:>12.1} {:>+7.1}%  {status}",
-            base.key, base.wall_us, new.wall_us, delta_pct
+            "bench gate: {fresh_path} vs baseline {baseline_path} (tolerance {tolerance_pct}%)"
         );
-    }
-    for new in &fresh {
-        if !baseline.iter().any(|r| r.key == new.key) {
+        println!(
+            "{:<44} {:>12} {:>12} {:>8}  status",
+            "benchmark", "base us", "fresh us", "delta"
+        );
+        for base in &baseline {
+            let Some(new) = fresh.iter().find(|r| r.key == base.key) else {
+                println!(
+                    "{:<44} {:>12} {:>12} {:>8}  MISSING",
+                    base.key, base.wall_us, "-", "-"
+                );
+                failures += 1;
+                continue;
+            };
+            let delta_pct = if base.wall_us > 0.0 {
+                (new.wall_us - base.wall_us) / base.wall_us * 100.0
+            } else {
+                0.0
+            };
+            let status = if new.messages != base.messages {
+                failures += 1;
+                format!("COUNT {} != {}", new.messages, base.messages)
+            } else if delta_pct > tolerance_pct {
+                failures += 1;
+                "REGRESSED".to_string()
+            } else {
+                "ok".to_string()
+            };
             println!(
-                "{:<44} {:>12} {:>12.1} {:>8}  NEW (not gated)",
-                new.key, "-", new.wall_us, "-"
+                "{:<44} {:>12.1} {:>12.1} {:>+7.1}%  {status}",
+                base.key, base.wall_us, new.wall_us, delta_pct
             );
         }
+        for new in &fresh {
+            if !baseline.iter().any(|r| r.key == new.key) {
+                println!(
+                    "{:<44} {:>12} {:>12.1} {:>8}  NEW (not gated)",
+                    new.key, "-", new.wall_us, "-"
+                );
+            }
+        }
+        fresh
+    };
+
+    let curves = speedup_curves(&fresh);
+    if !curves.is_empty() {
+        let para = std::thread::available_parallelism()
+            .map(|n| n.get() as f64)
+            .unwrap_or(1.0);
+        let effective_min = min_speedup.map(|m| m.min(para));
+        match (min_speedup, effective_min) {
+            (Some(want), Some(eff)) => println!(
+                "\nderived speedup (wall[1 PE] / wall[N PEs]); gate: best >= \
+                 min({want}, {para} hardware threads) = {eff:.2}{}",
+                family_filter
+                    .as_deref()
+                    .map(|f| format!(" for families matching \"{f}\""))
+                    .unwrap_or_default()
+            ),
+            _ => println!(
+                "\nderived speedup (wall[1 PE] / wall[N PEs]); no gate (--min-speedup unset)"
+            ),
+        }
+        println!(
+            "{:<36} {:>12} {:>8} {:>9}  status",
+            "family", "serial us", "best@pe", "speedup"
+        );
+        for c in &curves {
+            let gated = family_filter
+                .as_deref()
+                .is_none_or(|f| c.family.contains(f));
+            let status = match effective_min {
+                Some(eff) if gated && c.best_speedup < eff => {
+                    failures += 1;
+                    "TOO SLOW"
+                }
+                Some(_) if gated => "ok",
+                _ => "-",
+            };
+            println!(
+                "{:<36} {:>12.1} {:>8} {:>9.2}  {status}",
+                c.family, c.serial_us, c.best_pes, c.best_speedup
+            );
+        }
+    } else if min_speedup.is_some() {
+        eprintln!("bench gate: --min-speedup set but no multi-PE benchmark family found");
+        failures += 1;
     }
+
     if failures > 0 {
-        eprintln!("bench gate: {failures} regression(s) beyond {tolerance_pct}%");
+        eprintln!("bench gate: {failures} failure(s)");
         return ExitCode::FAILURE;
     }
-    println!("bench gate: all within tolerance");
+    println!("bench gate: all gates passed");
     ExitCode::SUCCESS
 }

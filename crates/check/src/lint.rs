@@ -1,19 +1,31 @@
 //! Repo-specific source lints, run in CI alongside the model checker.
 //!
-//! Three rules, all scoped to `crates/*/src` and the root `src/`:
+//! Five rules, all scoped to `crates/*/src` and the root `src/`:
 //!
 //! 1. **mark-word ordering** — a line touching the packed `(epoch, color)`
-//!    mark word (`r_words`, `core::threaded`'s lock-free probe target)
-//!    must not use `Ordering::Relaxed`: the release/acquire pairing on the
-//!    mark word is what publishes a vertex's marked state to other
-//!    workers.
-//! 2. **mark-state confinement** — direct mark-slot mutation
+//!    mark word (`r_words`, the lock-free probe target the SoA arrays
+//!    generalized) must not use `Ordering::Relaxed`: the release/acquire
+//!    pairing on the mark word is what publishes a vertex's marked state
+//!    to other workers.
+//! 2. **markword-array ordering** — same rule for the dense SoA arrays
+//!    (`mark_words` / `par_words` in `dgr-graph`'s `markword` module):
+//!    every access must use a sanctioned ordering (Acquire, Release,
+//!    AcqRel, or SeqCst), never Relaxed. A Relaxed probe could observe a
+//!    claimed color without the claim's preceding writes; a Relaxed
+//!    drain could read a stale parent and misroute the return wave.
+//! 3. **mark-state confinement** — direct mark-slot mutation
 //!    (`mark_mut` / `slot_mut` / `mark_at_mut`) is allowed only in the
 //!    graph crate itself, the handler/cooperation/compressed/threaded
 //!    modules of `dgr-core` (the sequential and lock-based handler
 //!    implementations), and the fault injector of this crate (whose job
 //!    is to play a buggy implementation). Test modules are exempt.
-//! 3. **no `unsafe`** — the workspace forbids `unsafe` outside `vendor/`;
+//! 4. **deque confinement** — constructing a `StealDeque` is allowed only
+//!    inside `crates/sim/src`: the work-stealing runtime owns the deques
+//!    (one per PE, owner-push/owner-pop, thieves steal through the
+//!    runtime). Other crates spawn through `SpawnScope`, so no code path
+//!    outside the runtime can push a task that termination detection
+//!    does not know about.
+//! 5. **no `unsafe`** — the workspace forbids `unsafe` outside `vendor/`;
 //!    this catches it even where a crate forgot its `forbid` attribute.
 //!
 //! The needles below are spelled with `concat!` so the lint does not flag
@@ -36,7 +48,9 @@ pub struct Finding {
 }
 
 const MARK_WORD: &str = concat!("r_w", "ords");
+const MARKWORD_ARRAYS: [&str; 2] = [concat!("mark_w", "ords"), concat!("par_w", "ords")];
 const RELAXED: &str = concat!("Rel", "axed");
+const DEQUE_NEW: &str = concat!("StealDeque::", "new(");
 const MUT_NEEDLES: [&str; 3] = [
     concat!("mark_m", "ut("),
     concat!("slot_m", "ut("),
@@ -62,6 +76,10 @@ const MUT_ALLOWLIST: [&str; 5] = [
 
 fn allowed_mut(rel: &str) -> bool {
     rel.starts_with("crates/graph/src/") || MUT_ALLOWLIST.contains(&rel)
+}
+
+fn allowed_deque(rel: &str) -> bool {
+    rel.starts_with("crates/sim/src/")
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
@@ -130,6 +148,22 @@ pub fn run(root: &Path) -> Vec<Finding> {
                     text: t.to_string(),
                 });
             }
+            if MARKWORD_ARRAYS.iter().any(|n| l.contains(n)) && l.contains(RELAXED) {
+                findings.push(Finding {
+                    file: rel.clone(),
+                    line: i + 1,
+                    rule: "markword-array-relaxed",
+                    text: t.to_string(),
+                });
+            }
+            if !in_tests && !allowed_deque(&rel) && l.contains(DEQUE_NEW) {
+                findings.push(Finding {
+                    file: rel.clone(),
+                    line: i + 1,
+                    rule: "deque-confinement",
+                    text: t.to_string(),
+                });
+            }
             if !in_tests && !allowed_mut(&rel) && MUT_NEEDLES.iter().any(|n| l.contains(n)) {
                 findings.push(Finding {
                     file: rel.clone(),
@@ -176,13 +210,16 @@ mod tests {
         let src = dir.join("crates").join("evil").join("src");
         fs::create_dir_all(&src).unwrap();
         let bad = format!(
-            "fn f() {{\n    x.{}y, Ordering::{});\n    g.{}v, s).mt_cnt += 1;\n}}\n",
-            MARK_WORD, RELAXED, MUT_NEEDLES[0]
+            "fn f() {{\n    x.{}y, Ordering::{});\n    g.{}v, s).mt_cnt += 1;\n    \
+             self.{}[i].load(Ordering::{});\n    let q = {}64);\n}}\n",
+            MARK_WORD, RELAXED, MUT_NEEDLES[0], MARKWORD_ARRAYS[1], RELAXED, DEQUE_NEW
         );
         fs::write(src.join("evil.rs"), bad).unwrap();
         let findings = run(&dir);
         assert!(findings.iter().any(|f| f.rule == "mark-word-relaxed"));
         assert!(findings.iter().any(|f| f.rule == "mark-state-confinement"));
+        assert!(findings.iter().any(|f| f.rule == "markword-array-relaxed"));
+        assert!(findings.iter().any(|f| f.rule == "deque-confinement"));
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,41 +1,70 @@
-//! `mark1` on the real parallel runtime.
+//! `mark1` on the work-stealing parallel runtime.
 //!
-//! Each marking task locks exactly one vertex for a bounded amount of work
-//! and never holds a lock while waiting on another PE — the property
-//! Section 6 uses to argue that resource deadlock between marking tasks is
-//! impossible and interference with the reduction process is minimal.
+//! Each marking task touches exactly one vertex and never holds a lock
+//! while waiting on another PE — the property Section 6 uses to argue
+//! that resource deadlock between marking tasks is impossible and
+//! interference with the reduction process is minimal.
 //!
 //! This module is used by the scalability experiments (T5): the same
 //! algorithm that the deterministic simulator executes runs here on one
-//! OS thread per PE, against a [`SharedGraph`] with per-vertex locks.
+//! OS thread per PE, on the [`StealRuntime`] — per-PE Chase–Lev deques,
+//! a sharded mailbox mesh for cross-PE envelopes, and adaptive parking.
 //!
-//! Three hot-path optimizations, all semantics-preserving:
+//! The hot-path structure, all semantics-preserving:
 //!
 //! * between-pass resets are an O(1) epoch bump ([`reset_shared_r`]);
-//! * a lock-free probe of the vertex's published `(epoch, color)` word
-//!   settles already-visited vertices without taking their mutex — sound
-//!   because a vertex's color within one pass only moves forward
-//!   (Unmarked → Transient → Marked), so an observed non-Unmarked color
-//!   can only ever lead to the same immediate-return branch the locked
-//!   path would take;
-//! * each PE drains its local task pool through a reusable thread-local
-//!   scratch buffer instead of allocating a fresh one per message.
+//! * the per-vertex mark state lives in the shared graph's dense
+//!   [`MarkWords`](dgr_graph::MarkWords) array: the Unmarked → Transient
+//!   transition is a CAS claim, the count drain of a `Return` is one
+//!   `fetch_sub` — the vertex mutex is taken exactly once per reachable
+//!   vertex (by the claim winner, to read the child list against
+//!   concurrent mutators) and **never** on the return path, which is half
+//!   of all marking tasks;
+//! * tasks are allocation-free `u64` words carrying a saturating depth
+//!   hint, so the runtime's LIFO pop / oldest-first steal discipline
+//!   executes deep work locally and hands thieves the biggest remaining
+//!   subtrees (critical-path-aware scheduling);
+//! * a task for vertex `v` is still *routed* to `v`'s owner PE per the
+//!   partition — the paper's distribution model, and what the envelope
+//!   counter measures — but an idle PE may steal it: soundness does not
+//!   depend on placement because every state transition is a CAS or an
+//!   owned decrement on the shared mark words.
 
-use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 
-use dgr_graph::{Color, GraphStore, MarkParent, PartitionMap, PartitionStrategy, Slot};
-use dgr_sim::{Envelope, Lane, SharedGraph, ThreadedRuntime};
+use dgr_graph::{markword::Claim, PeId};
+use dgr_graph::{GraphStore, MarkParent, PartitionMap, PartitionStrategy, Slot, VertexId};
+use dgr_sim::steal::with_depth;
+use dgr_sim::{SharedGraph, SpawnScope, StealRuntime};
 use dgr_telemetry::{CounterId, HeartbeatHandle, Phase, Registry};
 
-use crate::msg::MarkMsg;
+/// Task words: `depth(6) | kind(1) | par(28) | v(28)` with the depth hint
+/// in the runtime's reserved top bits. 28-bit vertex fields bound the
+/// graph at ~268M vertices — far beyond any workload here, asserted at
+/// pass start.
+const FIELD_BITS: u32 = 28;
+const FIELD_MAX: u64 = (1 << FIELD_BITS) - 1;
+/// `par`/`to` sentinel for the paper's `rootpar` termination target.
+const ROOTPAR: u64 = FIELD_MAX;
+const KIND_RETURN: u64 = 1 << (2 * FIELD_BITS);
 
-fn route(partition: &PartitionMap, msg: MarkMsg) -> Envelope<MarkMsg> {
-    let pe = msg
-        .dest_vertex()
-        .map(|v| partition.pe_of(v))
-        .unwrap_or(dgr_graph::PeId::new(0));
-    Envelope::new(pe, Lane::Marking, msg)
+fn mark_task(v: VertexId, par: u64, depth: u64) -> u64 {
+    with_depth((par << FIELD_BITS) | u64::from(v.raw()), depth)
+}
+
+fn return_task(to: u64, depth: u64) -> u64 {
+    with_depth(KIND_RETURN | to, depth)
+}
+
+/// Owner PE of a task: where its subject vertex lives (`rootpar` returns
+/// go to PE 0, which spawned the root mark).
+fn route(partition: &PartitionMap, task: u64) -> PeId {
+    let v = task & FIELD_MAX;
+    if v == ROOTPAR {
+        PeId::new(0)
+    } else {
+        partition.pe_of(VertexId::new(v as u32))
+    }
 }
 
 /// Counters from one threaded `mark1` pass.
@@ -46,8 +75,8 @@ pub struct ThreadedMarkStats {
     /// count is schedule-independent and equals the event count of a
     /// deterministic-simulator pass over the same graph.
     pub messages: u64,
-    /// Cross-PE messages the runtime delivered (envelopes after local
-    /// draining, counted individually inside batches).
+    /// Cross-PE envelopes the runtime routed through the mailbox mesh
+    /// (tasks whose owner PE differed from the spawning PE).
     pub envelopes: u64,
 }
 
@@ -80,13 +109,6 @@ pub fn reset_shared_r(shared: &SharedGraph) {
     shared.begin_mark_cycle(Slot::R);
 }
 
-thread_local! {
-    /// Reusable local task pool for [`run_mark1_shared`]: drained empty
-    /// by the end of every handler invocation, so the buffer (and its
-    /// grown capacity) is reused across messages and passes.
-    static WORK: RefCell<Vec<MarkMsg>> = const { RefCell::new(Vec::new()) };
-}
-
 /// Runs one `mark1` pass over an already-shared graph whose R slots are
 /// reset, returning the pass's message counters. This is the timed core
 /// of the T5 scalability experiment — the store↔shared conversions of
@@ -106,8 +128,8 @@ pub fn run_mark1_shared(
 
 /// [`run_mark1_shared`] with an explicit telemetry registry: the pass is
 /// wrapped in an `M_R` span, each PE's executed marking tasks land in its
-/// mark-event counter, and the underlying runtime records mailbox depth,
-/// batch sizes and park events per PE.
+/// mark-event counter, and the underlying runtime records deque depth,
+/// steals, drained batch sizes and park events per PE.
 ///
 /// # Panics
 ///
@@ -128,9 +150,9 @@ pub fn run_mark1_shared_with(
 }
 
 /// [`run_mark1_shared_with`] plus a liveness pulse: the pass brackets an
-/// `M_R` phase on `hb` and the runtime beats delivery progress per work
-/// item, so the `dgr-observe` watchdog can supervise a long pass from
-/// another thread. With the default (no-op) handle this is exactly
+/// `M_R` phase on `hb` and the runtime beats delivery progress per local
+/// drain run, so the `dgr-observe` watchdog can supervise a long pass
+/// from another thread. With the default (no-op) handle this is exactly
 /// [`run_mark1_shared_with`].
 ///
 /// # Panics
@@ -144,146 +166,93 @@ pub fn run_mark1_shared_observed(
     hb: &HeartbeatHandle,
 ) -> ThreadedMarkStats {
     let root = shared.root().expect("marking needs a root");
+    assert!(
+        (shared.capacity() as u64) < ROOTPAR,
+        "graph too large for 28-bit task fields"
+    );
     let partition = PartitionMap::new(num_pes, shared.capacity(), strategy);
     let done = AtomicBool::new(false);
-    let messages = AtomicU64::new(0);
     // The pass's epoch is fixed before threads spawn (spawning publishes
-    // it); every slot access below is normalized against it.
+    // it); every mark-word access below is normalized against it.
     let epoch = shared.mark_epoch(Slot::R);
+    let marks = shared.marks();
 
     let _pass = telem.span(0, 0, Phase::Mr, "mark1_threaded");
     hb.begin_phase(0, Phase::Mr);
-    let envelopes = ThreadedRuntime::new(num_pes).run_observed(
-        vec![route(
-            &partition,
-            MarkMsg::Mark1 {
-                v: root,
-                par: MarkParent::RootPar,
-            },
-        )],
-        |ctx, msg: MarkMsg| {
-            // A PE drains its own task pool locally; only marking tasks
-            // addressed to another PE's partition become messages. Each
-            // task still locks at most one vertex for bounded work.
-            WORK.with(|work| {
-                let mut work = work.borrow_mut();
-                work.push(msg);
-                let mut executed = 0u64;
-                let emit = |work: &mut Vec<MarkMsg>, m: MarkMsg| {
-                    let env = route(&partition, m);
-                    if env.dst == ctx.me() {
-                        work.push(m);
-                    } else {
-                        ctx.send(env);
-                    }
+    let seed = mark_task(root, ROOTPAR, 0);
+    let stats = StealRuntime::new(num_pes).run_observed(
+        vec![(route(&partition, seed), seed)],
+        |scope: &mut SpawnScope<'_>, task: u64| {
+            telem.pe(scope.me().raw()).inc(CounterId::MarkEvents);
+            let depth = dgr_sim::steal::task_depth(task);
+            let emit = |scope: &mut SpawnScope<'_>, t: u64| {
+                scope.spawn(route(&partition, t), t);
+            };
+            if task & KIND_RETURN == 0 {
+                // A mark task: claim `v` for this cycle or settle as a
+                // duplicate visit.
+                let v = VertexId::new((task & FIELD_MAX) as u32);
+                let par = (task >> FIELD_BITS) & FIELD_MAX;
+                // Lock-free fast path: a current-epoch color other than
+                // Unmarked means this mark1 returns immediately.
+                let probed = marks.probe(v.index(), epoch);
+                if probed.is_some_and(|c| c != dgr_graph::Color::Unmarked) {
+                    emit(scope, return_task(par, depth));
+                    return;
+                }
+                // The winner of the CAS claim owns the expansion; the
+                // vertex mutex is held only for the child-list read (the
+                // one field a concurrent mutator could be rewriting).
+                let guard = shared.lock(v);
+                if guard.is_free() {
+                    drop(guard);
+                    emit(scope, return_task(par, depth));
+                    return;
+                }
+                let mut n_children = 0u32;
+                guard.for_each_r_child(|_| n_children += 1);
+                let parent = if par == ROOTPAR {
+                    MarkParent::RootPar
+                } else {
+                    MarkParent::Vertex(VertexId::new(par as u32))
                 };
-                while let Some(m) = work.pop() {
-                    executed += 1;
-                    match m {
-                        MarkMsg::Mark1 { v, par } => {
-                            // Lock-free fast path: a current-epoch color
-                            // other than Unmarked means this mark1 would
-                            // return immediately — no lock needed.
-                            let probed = shared.r_probe(v, epoch);
-                            if probed.is_some_and(|c| c != Color::Unmarked) {
-                                emit(
-                                    &mut work,
-                                    MarkMsg::Return {
-                                        slot: Slot::R,
-                                        to: par,
-                                    },
-                                );
-                                continue;
-                            }
-                            let mut guard = shared.lock(v);
-                            if guard.is_free() || !guard.mark_at(Slot::R, epoch).is_unmarked() {
-                                drop(guard);
-                                emit(
-                                    &mut work,
-                                    MarkMsg::Return {
-                                        slot: Slot::R,
-                                        to: par,
-                                    },
-                                );
-                                continue;
-                            }
-                            let mut n_children = 0u32;
-                            guard.for_each_r_child(|_| n_children += 1);
-                            let s = guard.mark_at_mut(Slot::R, epoch);
-                            s.mt_par = Some(par);
-                            s.mt_cnt += n_children;
-                            let color = if n_children == 0 {
-                                Color::Marked
-                            } else {
-                                Color::Transient
-                            };
-                            s.color = color;
-                            // Publish while holding the lock: the Release
-                            // store is the transition's last vertex write.
-                            shared.publish_r(v, epoch, color);
-                            if n_children == 0 {
-                                drop(guard);
-                                emit(
-                                    &mut work,
-                                    MarkMsg::Return {
-                                        slot: Slot::R,
-                                        to: par,
-                                    },
-                                );
-                            } else {
-                                // Emitting under the lock is safe — no
-                                // other lock is taken — and avoids
-                                // materializing the child list.
-                                guard.for_each_r_child(|c| {
-                                    emit(
-                                        &mut work,
-                                        MarkMsg::Mark1 {
-                                            v: c,
-                                            par: MarkParent::Vertex(v),
-                                        },
-                                    );
-                                });
-                                drop(guard);
-                            }
-                        }
-                        MarkMsg::Return { to, .. } => match to {
-                            MarkParent::RootPar => {
-                                // Relaxed: asserted only after the runtime
-                                // joins its workers, which synchronizes.
-                                done.store(true, Ordering::Relaxed);
-                            }
-                            MarkParent::TaskRootPar => {
-                                unreachable!("mark1 never uses the task root")
-                            }
-                            MarkParent::Vertex(v) => {
-                                let mut guard = shared.lock(v);
-                                let s = guard.mark_at_mut(Slot::R, epoch);
-                                debug_assert!(s.mt_cnt > 0);
-                                s.mt_cnt -= 1;
-                                if s.mt_cnt == 0 {
-                                    s.color = Color::Marked;
-                                    let par = s.mt_par.expect("completing vertex has a parent");
-                                    shared.publish_r(v, epoch, Color::Marked);
-                                    drop(guard);
-                                    emit(
-                                        &mut work,
-                                        MarkMsg::Return {
-                                            slot: Slot::R,
-                                            to: par,
-                                        },
-                                    );
-                                }
-                            }
-                        },
-                        other => unreachable!("threaded mark1 pass received {other:?}"),
+                match marks.try_claim(v.index(), epoch, n_children, parent) {
+                    Claim::Won(_) if n_children > 0 => {
+                        // Spawn deepest-last so the runtime chains the
+                        // final child and thieves get the first ones.
+                        guard.for_each_r_child(|c| {
+                            emit(scope, mark_task(c, u64::from(v.raw()), depth + 1));
+                        });
+                        drop(guard);
+                    }
+                    Claim::Won(_) | Claim::Lost => {
+                        drop(guard);
+                        emit(scope, return_task(par, depth));
                     }
                 }
-                telem
-                    .pe(ctx.me().raw())
-                    .add(CounterId::MarkEvents, executed);
-                // Relaxed: read once after the runtime joins.
-                messages.fetch_add(executed, Ordering::Relaxed);
-            });
+            } else {
+                // A return task: drain one outstanding child of `to`.
+                let to = task & FIELD_MAX;
+                if to == ROOTPAR {
+                    // Relaxed: asserted only after the runtime joins its
+                    // workers, which synchronizes.
+                    done.store(true, Ordering::Relaxed);
+                    return;
+                }
+                let v = VertexId::new(to as u32);
+                if let Some(parent) = marks.complete_child(v.index(), epoch) {
+                    let t = match parent {
+                        MarkParent::RootPar => return_task(ROOTPAR, depth),
+                        MarkParent::Vertex(p) => {
+                            return_task(u64::from(p.raw()), depth.saturating_sub(1))
+                        }
+                        MarkParent::TaskRootPar => {
+                            unreachable!("mark1 never uses the task root")
+                        }
+                    };
+                    emit(scope, t);
+                }
+            }
         },
         telem,
         hb,
@@ -303,8 +272,8 @@ pub fn run_mark1_shared_observed(
         panic!("{reason}");
     }
     ThreadedMarkStats {
-        messages: messages.load(Ordering::Relaxed),
-        envelopes,
+        messages: stats.executed,
+        envelopes: stats.envelopes,
     }
 }
 

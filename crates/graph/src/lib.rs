@@ -56,6 +56,7 @@ pub mod dot;
 mod error;
 mod ids;
 mod label;
+pub mod markword;
 pub mod oracle;
 mod store;
 mod template;
@@ -65,6 +66,7 @@ mod vertex;
 pub use error::GraphError;
 pub use ids::{PeId, VertexId};
 pub use label::{NodeLabel, PrimOp};
+pub use markword::MarkWords;
 pub use oracle::{Oracle, TaskClass, TaskEndpoints, VertexSet};
 pub use store::{Epochs, GraphStore, PartitionMap, PartitionStrategy};
 pub use template::{Template, TemplateNode, TemplateRef};

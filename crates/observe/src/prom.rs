@@ -228,6 +228,8 @@ fn counter_help(id: CounterId) -> &'static str {
         CounterId::Reclaimed => "Garbage vertices reclaimed by restructuring",
         CounterId::Expunged => "Irrelevant tasks expunged by restructuring",
         CounterId::Relaned => "Pending tasks moved to a different priority lane",
+        CounterId::Steals => "Successful steal operations by the work-stealing runtime",
+        CounterId::StealFails => "Steal attempts that found the victim empty or lost the race",
     }
 }
 
@@ -235,6 +237,8 @@ fn gauge_help(id: GaugeId) -> &'static str {
     match id {
         GaugeId::MailboxDepth => "Pending messages in the PE's mailboxes right now",
         GaugeId::MailboxHighWater => "Largest mailbox depth observed on the PE",
+        GaugeId::DequeDepth => "Tasks in the PE's work-stealing deque right now",
+        GaugeId::DequeHighWater => "Largest deque depth observed on the PE",
     }
 }
 

@@ -16,8 +16,14 @@
 //!   per-vertex `parking_lot` mutexes provide exactly the paper's atomicity
 //!   granularity. Termination is detected with a global in-flight message
 //!   counter (quiescence).
+//! * [`StealRuntime`] — the **work-stealing runtime**: per-PE Chase–Lev
+//!   deques ([`StealDeque`]) with a sharded lock-free mailbox mesh
+//!   ([`MailboxGrid`]) for cross-PE envelopes, adaptive parking, and
+//!   critical-path depth hints on its `u64` tasks. This is the fast
+//!   substrate the scalability experiments measure; the channel runtime
+//!   is retained as the simpler generic-message baseline.
 //!
-//! The marking algorithms in `dgr-core` run unchanged on both.
+//! The marking algorithms in `dgr-core` run unchanged on all of them.
 //!
 //! # Example
 //!
@@ -38,14 +44,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod deque;
 mod det;
+pub mod mailbox;
 mod msg;
 mod shared;
 mod stats;
+pub mod steal;
 mod threaded;
 
+pub use deque::{Steal, StealDeque};
 pub use det::{DetSim, SchedPolicy};
+pub use mailbox::MailboxGrid;
 pub use msg::{Envelope, Lane};
 pub use shared::SharedGraph;
 pub use stats::SimStats;
+pub use steal::{SpawnScope, StealRuntime, StealStats};
 pub use threaded::{ThreadCtx, ThreadedRuntime};

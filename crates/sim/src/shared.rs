@@ -1,33 +1,9 @@
 //! A computation graph shared between PE threads with per-vertex locks.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 
-use dgr_graph::{Color, Epochs, GraphError, GraphStore, NodeLabel, Slot, Vertex, VertexId};
+use dgr_graph::{Epochs, GraphError, GraphStore, MarkWords, NodeLabel, Slot, Vertex, VertexId};
 use parking_lot::{Mutex, MutexGuard};
-
-/// Encodes a `(epoch, color)` pair into one lock-free word: the full
-/// 32-bit epoch in the high half, the color code in the low bits. Word 0
-/// (epoch 0) is never a live epoch, so a fresh word always reads as
-/// "no current-cycle information".
-fn encode_r_word(epoch: u32, color: Color) -> u64 {
-    let code = match color {
-        Color::Unmarked => 0u64,
-        Color::Transient => 1,
-        Color::Marked => 2,
-    };
-    ((epoch as u64) << 2) | code
-}
-
-fn decode_r_word(word: u64, epoch: u32) -> Option<Color> {
-    if (word >> 2) as u32 != epoch {
-        return None;
-    }
-    Some(match word & 0b11 {
-        0 => Color::Unmarked,
-        1 => Color::Transient,
-        _ => Color::Marked,
-    })
-}
 
 /// The computation graph in the form the threaded runtime uses: each vertex
 /// behind its own `parking_lot` mutex, the free list behind one more.
@@ -67,22 +43,20 @@ pub struct SharedGraph {
     /// Touch epoch, carried through for round-tripping (the threaded
     /// marking runtime never touches vertices).
     touch_epoch: u32,
-    /// Lock-free snapshot of each vertex's R-slot `(epoch, color)`,
-    /// maintained alongside the locked slot (see [`SharedGraph::r_probe`]).
-    r_words: Vec<AtomicU64>,
+    /// The hot R-slot marking state, as a dense struct-of-arrays atomic
+    /// array (see [`MarkWords`]): marking passes transition colors with
+    /// CAS instead of taking the vertex mutex, and the state streams
+    /// through the cache instead of hopping between fat vertices. The
+    /// array is authoritative while the graph is shared;
+    /// [`SharedGraph::into_store`] writes it back into the vertex slots.
+    marks: MarkWords,
 }
 
 impl SharedGraph {
     /// Converts a plain store into the shared form.
     pub fn from_store(store: GraphStore) -> Self {
         let (verts, free, root, epochs) = store.into_parts();
-        let r_words = verts
-            .iter()
-            .map(|v| {
-                let s = v.slot(Slot::R);
-                AtomicU64::new(encode_r_word(s.epoch, s.color))
-            })
-            .collect();
+        let marks = MarkWords::from_slots(&verts, Slot::R);
         SharedGraph {
             verts: verts.into_iter().map(Mutex::new).collect(),
             free: Mutex::new(free),
@@ -92,20 +66,28 @@ impl SharedGraph {
                 AtomicU32::new(epochs.mark[Slot::T.index()]),
             ],
             touch_epoch: epochs.touch,
-            r_words,
+            marks,
         }
     }
 
     /// Converts back into a plain store (consumes the shared graph; all
     /// locks must be free, which is guaranteed by ownership).
     pub fn into_store(self) -> GraphStore {
-        let verts: Vec<Vertex> = self.verts.into_iter().map(|m| m.into_inner()).collect();
+        let mut verts: Vec<Vertex> = self.verts.into_iter().map(|m| m.into_inner()).collect();
+        self.marks.write_back(&mut verts, Slot::R);
         let [epoch_r, epoch_t] = self.mark_epochs;
         let epochs = Epochs {
             mark: [epoch_r.into_inner(), epoch_t.into_inner()],
             touch: self.touch_epoch,
         };
         GraphStore::from_parts(verts, self.free.into_inner(), self.root, epochs)
+    }
+
+    /// The dense atomic marking state of every vertex's R slot — the
+    /// lock-free substrate marking passes run on (probe, claim,
+    /// complete). Authoritative while the graph is shared.
+    pub fn marks(&self) -> &MarkWords {
+        &self.marks
     }
 
     /// The current marking epoch of `slot`. Relaxed: the epoch only
@@ -116,35 +98,13 @@ impl SharedGraph {
     }
 
     /// Begins a new marking cycle for `slot`: an O(1) epoch bump, after
-    /// which every vertex's slot reads as freshly reset (stale `r_words`
-    /// entries fail the epoch check in [`SharedGraph::r_probe`]).
+    /// which every vertex's slot reads as freshly reset (stale mark
+    /// words fail the epoch check in [`MarkWords::probe`]).
     ///
     /// Must only be called while no marking threads are running; the
     /// thread spawn that starts the next pass publishes the new epoch.
     pub fn begin_mark_cycle(&self, slot: Slot) {
         self.mark_epochs[slot.index()].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Lock-free probe of vertex `id`'s R-slot color in the current
-    /// cycle, or `None` if the vertex has not been written this cycle
-    /// (equivalently: it reads as Unmarked, but the caller must take the
-    /// lock to claim it).
-    ///
-    /// Acquire pairs with the Release in [`SharedGraph::publish_r`]:
-    /// observing a published color happens-after everything the
-    /// publishing thread did up to (and including) the write, so a
-    /// reader that skips the lock on a non-Unmarked probe behaves
-    /// exactly like one that took the lock and saw the same color.
-    pub fn r_probe(&self, id: VertexId, epoch: u32) -> Option<Color> {
-        decode_r_word(self.r_words[id.index()].load(Ordering::Acquire), epoch)
-    }
-
-    /// Publishes vertex `id`'s current-cycle R color to the lock-free
-    /// word. The caller must hold `id`'s vertex lock and have already
-    /// applied the corresponding slot write, so the Release store is the
-    /// last write of the transition.
-    pub fn publish_r(&self, id: VertexId, epoch: u32, color: Color) {
-        self.r_words[id.index()].store(encode_r_word(epoch, color), Ordering::Release);
     }
 
     /// The distinguished root, if set.
@@ -203,8 +163,8 @@ impl SharedGraph {
         let mut v = self.lock(id);
         *v = Vertex::new(label);
         // A recycled slot must not inherit the previous occupant's
-        // published color (the epoch may still be current).
-        self.r_words[id.index()].store(0, Ordering::Release);
+        // published marks (the epoch may still be current).
+        self.marks.clear(id.index());
         Ok(id)
     }
 
@@ -213,7 +173,7 @@ impl SharedGraph {
         {
             let mut v = self.lock(id);
             v.clear_for_free();
-            self.r_words[id.index()].store(0, Ordering::Release);
+            self.marks.clear(id.index());
         }
         self.free.lock().push(id);
     }

@@ -63,11 +63,16 @@ pub enum CounterId {
     Expunged,
     /// Pending tasks moved to a different priority lane.
     Relaned,
+    /// Successful steal operations by the work-stealing runtime (each may
+    /// transfer several tasks).
+    Steals,
+    /// Steal attempts that found the victim empty or lost the race.
+    StealFails,
 }
 
 impl CounterId {
     /// Number of counters.
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 13;
 
     /// Every counter, in `index` order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -82,6 +87,8 @@ impl CounterId {
         CounterId::Reclaimed,
         CounterId::Expunged,
         CounterId::Relaned,
+        CounterId::Steals,
+        CounterId::StealFails,
     ];
 
     /// Dense index into shard/snapshot arrays.
@@ -103,6 +110,8 @@ impl CounterId {
             CounterId::Reclaimed => "reclaimed",
             CounterId::Expunged => "expunged",
             CounterId::Relaned => "relaned",
+            CounterId::Steals => "steals",
+            CounterId::StealFails => "steal_fails",
         }
     }
 }
@@ -114,14 +123,23 @@ pub enum GaugeId {
     MailboxDepth,
     /// Largest mailbox depth observed (set with `gauge_max`).
     MailboxHighWater,
+    /// Tasks in a PE's work-stealing deque right now.
+    DequeDepth,
+    /// Largest deque depth observed (set with `gauge_max`).
+    DequeHighWater,
 }
 
 impl GaugeId {
     /// Number of gauges.
-    pub const COUNT: usize = 2;
+    pub const COUNT: usize = 4;
 
     /// Every gauge, in `index` order.
-    pub const ALL: [GaugeId; GaugeId::COUNT] = [GaugeId::MailboxDepth, GaugeId::MailboxHighWater];
+    pub const ALL: [GaugeId; GaugeId::COUNT] = [
+        GaugeId::MailboxDepth,
+        GaugeId::MailboxHighWater,
+        GaugeId::DequeDepth,
+        GaugeId::DequeHighWater,
+    ];
 
     /// Dense index into shard/snapshot arrays.
     pub fn index(self) -> usize {
@@ -133,6 +151,8 @@ impl GaugeId {
         match self {
             GaugeId::MailboxDepth => "mailbox_depth",
             GaugeId::MailboxHighWater => "mailbox_high_water",
+            GaugeId::DequeDepth => "deque_depth",
+            GaugeId::DequeHighWater => "deque_high_water",
         }
     }
 }
