@@ -1,0 +1,444 @@
+//! The model-checking scenario corpus for the lock-free substrate, and
+//! the seeded-mutation table that proves the corpus is not vacuous.
+//!
+//! Each scenario instantiates *production* substrate code —
+//! [`StealDeque`], [`SpscRing`], [`MarkWords`], [`QuiesceState`] — with
+//! [`ShimAtomics`] and drives the smallest thread pattern that exercises
+//! one protocol edge. Scenario checks are exact conservation/routing
+//! invariants (`shim_assert`); stale reads of [`ShimCell`] payload data
+//! are caught by the model's race detector without any assertion at all.
+//!
+//! Scenarios are deliberately tiny (two or three virtual threads, a
+//! handful of operations): the bounded-exhaustive search covers them
+//! completely at preemption bound 2, and every seeded mutation in
+//! [`MUTATIONS`] is observable within that bound plus the weak-memory
+//! read choices.
+
+use std::sync::Arc;
+
+use dgr_atomic::Site;
+use dgr_graph::markword::Claim;
+use dgr_graph::{MarkParent, MarkWords};
+use dgr_sim::deque::Steal;
+use dgr_sim::{QuiesceState, SpscRing, StealDeque};
+
+use super::shim::{shim_assert, spawn, ShimAtomics, ShimCell};
+
+/// Sentinel for "this thread recorded no value" (distinguishable from a
+/// stolen stale `0`, which is itself a bug we must observe).
+const NONE: u64 = u64::MAX;
+
+/// One model-checking scenario.
+pub struct Scenario {
+    /// Stable name (used by mutations, reports, and the CLI).
+    pub name: &'static str,
+    /// What the scenario exercises (one line, for reports).
+    pub about: &'static str,
+    /// Builds a fresh scenario body for one execution.
+    pub make: fn() -> Box<dyn FnOnce() + Send + 'static>,
+}
+
+/// Owner pops while a thief makes two steal attempts over a two-task
+/// deque. The dangerous shape is the owner's non-CAS fast path
+/// (`top < bottom` after its decrement) racing a thief whose *stale*
+/// bottom read lets it steal the same deepest cell — only the SeqCst
+/// store/load pair on `bottom`/`top` forbids it. Every task must be
+/// consumed exactly once.
+fn deque_last_elem() -> Box<dyn FnOnce() + Send + 'static> {
+    Box::new(|| {
+        let q: Arc<StealDeque<ShimAtomics>> = Arc::new(StealDeque::new(8));
+        q.push(10).unwrap();
+        q.push(20).unwrap();
+        let got = Arc::new(ShimCell::new(NONE));
+        let got2 = Arc::new(ShimCell::new(NONE));
+        let t = {
+            let q = Arc::clone(&q);
+            let (got, got2) = (Arc::clone(&got), Arc::clone(&got2));
+            spawn(move || {
+                if let Steal::Success(v) = q.steal() {
+                    got.write(v);
+                }
+                if let Steal::Success(v) = q.steal() {
+                    got2.write(v);
+                }
+            })
+        };
+        let mut seen = Vec::new();
+        if let Some(v) = q.pop() {
+            seen.push(v);
+        }
+        t.join();
+        for c in [&got, &got2] {
+            let tv = c.read();
+            if tv != NONE {
+                seen.push(tv);
+            }
+        }
+        // Drain any leftover state (a double-take shows up as a repeated
+        // value across the pop, the steals, and this drain).
+        for _ in 0..3 {
+            if let Some(v) = q.pop() {
+                seen.push(v);
+            }
+        }
+        seen.sort_unstable();
+        shim_assert(seen == [10, 20], || {
+            format!("last-element conservation violated: consumed {seen:?}, pushed [10, 20]")
+        });
+    })
+}
+
+/// Owner pushes while a thief steals: theft must observe fully published
+/// cells (never the ring's initial garbage).
+fn deque_publish() -> Box<dyn FnOnce() + Send + 'static> {
+    Box::new(|| {
+        let q: Arc<StealDeque<ShimAtomics>> = Arc::new(StealDeque::new(8));
+        let got = Arc::new(ShimCell::new(NONE));
+        let t = {
+            let q = Arc::clone(&q);
+            let got = Arc::clone(&got);
+            spawn(move || {
+                if let Steal::Success(v) = q.steal() {
+                    got.write(v);
+                }
+            })
+        };
+        q.push(10).unwrap();
+        q.push(20).unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            if let Some(v) = q.pop() {
+                seen.push(v);
+            }
+        }
+        t.join();
+        let tv = got.read();
+        if tv != NONE {
+            seen.push(tv);
+        }
+        seen.sort_unstable();
+        shim_assert(seen == [10, 20], || {
+            format!("publish conservation violated: consumed {seen:?}, pushed [10, 20]")
+        });
+    })
+}
+
+/// The `steal_half` batching path under `thieves` concurrent thieves:
+/// every pushed task is consumed exactly once, wherever it lands.
+pub fn make_steal_half(thieves: usize) -> Box<dyn FnOnce() + Send + 'static> {
+    Box::new(move || {
+        const TASKS: [u64; 3] = [10, 20, 30];
+        let q: Arc<StealDeque<ShimAtomics>> = Arc::new(StealDeque::new(8));
+        // Per-thief recording cells (up to all tasks each).
+        let cells: Vec<Arc<Vec<ShimCell>>> = (0..thieves)
+            .map(|_| Arc::new((0..TASKS.len()).map(|_| ShimCell::new(NONE)).collect()))
+            .collect();
+        let handles: Vec<_> = cells
+            .iter()
+            .map(|cells| {
+                let q = Arc::clone(&q);
+                let cells = Arc::clone(cells);
+                spawn(move || {
+                    let mut out = Vec::new();
+                    q.steal_half(&mut out);
+                    for (i, v) in out.iter().enumerate() {
+                        cells[i].write(*v);
+                    }
+                })
+            })
+            .collect();
+        for v in TASKS {
+            q.push(v).unwrap();
+        }
+        let mut seen = Vec::new();
+        for _ in 0..TASKS.len() + 1 {
+            if let Some(v) = q.pop() {
+                seen.push(v);
+            }
+        }
+        for h in handles {
+            h.join();
+        }
+        for cells in &cells {
+            for c in cells.iter() {
+                let v = c.read();
+                if v != NONE {
+                    seen.push(v);
+                }
+            }
+        }
+        seen.sort_unstable();
+        shim_assert(seen == TASKS, || {
+            format!("steal_half conservation violated: consumed {seen:?}, pushed {TASKS:?}")
+        });
+    })
+}
+
+fn steal_half_1() -> Box<dyn FnOnce() + Send + 'static> {
+    make_steal_half(1)
+}
+
+fn steal_half_2() -> Box<dyn FnOnce() + Send + 'static> {
+    make_steal_half(2)
+}
+
+/// SPSC mailbox ring: the consumer drains concurrently with the
+/// producer's pushes and must see an exact in-order prefix of them.
+fn mailbox_spsc() -> Box<dyn FnOnce() + Send + 'static> {
+    Box::new(|| {
+        let ring: Arc<SpscRing<ShimAtomics>> = Arc::new(SpscRing::new(8));
+        let rec: Arc<Vec<ShimCell>> = Arc::new((0..3).map(|_| ShimCell::new(NONE)).collect());
+        let t = {
+            let ring = Arc::clone(&ring);
+            let rec = Arc::clone(&rec);
+            spawn(move || {
+                let mut out = Vec::new();
+                ring.drain(&mut out);
+                ring.drain(&mut out);
+                for (i, v) in out.iter().enumerate() {
+                    if i < rec.len() {
+                        rec[i].write(*v);
+                    }
+                }
+                shim_assert(out.len() <= 2, || {
+                    format!("consumer drained {} tasks of 2 sent", out.len())
+                });
+            })
+        };
+        ring.push(7).unwrap();
+        ring.push(9).unwrap();
+        t.join();
+        let mut consumed: Vec<u64> = rec
+            .iter()
+            .map(|c| c.read())
+            .filter(|&v| v != NONE)
+            .collect();
+        // Whatever the consumer missed is still in the ring.
+        let mut rest = Vec::new();
+        ring.drain(&mut rest);
+        consumed.extend(rest);
+        shim_assert(consumed == [7, 9], || {
+            format!("spsc delivery violated: consumed {consumed:?}, sent [7, 9]")
+        });
+    })
+}
+
+/// Mark-word claim publication: a worker that observes a claimed color
+/// via a lock-free probe happens-after everything the claimer did first.
+fn markword_claim_publish() -> Box<dyn FnOnce() + Send + 'static> {
+    Box::new(|| {
+        let words: Arc<MarkWords<ShimAtomics>> = Arc::new(MarkWords::new(1));
+        let prep = Arc::new(ShimCell::new(NONE));
+        let t1 = {
+            let words = Arc::clone(&words);
+            let prep = Arc::clone(&prep);
+            spawn(move || {
+                prep.write(42);
+                words.try_claim(0, 1, 1, MarkParent::RootPar);
+            })
+        };
+        let t2 = {
+            let words = Arc::clone(&words);
+            let prep = Arc::clone(&prep);
+            spawn(move || {
+                if words.probe(0, 1).is_some() {
+                    // The claim is visible, so its prep must be too; a
+                    // stale read here is a data race the model reports.
+                    let v = prep.read();
+                    shim_assert(v == 42, || {
+                        format!("probe saw the claim but prep reads {v}")
+                    });
+                }
+            })
+        };
+        t1.join();
+        t2.join();
+    })
+}
+
+/// Two rival claimants: exactly one wins, and the eventual drain returns
+/// the *winner's* parent (the PR 6 parent-clobber regression pin).
+fn markword_parent_race() -> Box<dyn FnOnce() + Send + 'static> {
+    Box::new(|| {
+        let words: Arc<MarkWords<ShimAtomics>> = Arc::new(MarkWords::new(1));
+        let w1 = Arc::new(ShimCell::new(0));
+        let w2 = Arc::new(ShimCell::new(0));
+        let t1 = {
+            let words = Arc::clone(&words);
+            let w1 = Arc::clone(&w1);
+            spawn(move || {
+                if let Claim::Won(_) = words.try_claim(0, 1, 1, MarkParent::RootPar) {
+                    w1.write(1);
+                }
+            })
+        };
+        let t2 = {
+            let words = Arc::clone(&words);
+            let w2 = Arc::clone(&w2);
+            spawn(move || {
+                if let Claim::Won(_) = words.try_claim(0, 1, 1, MarkParent::TaskRootPar) {
+                    w2.write(1);
+                }
+            })
+        };
+        t1.join();
+        t2.join();
+        let (a, b) = (w1.read(), w2.read());
+        shim_assert(a + b == 1, || {
+            format!("claim atomicity violated: {} winners", a + b)
+        });
+        let expect = if a == 1 {
+            MarkParent::RootPar
+        } else {
+            MarkParent::TaskRootPar
+        };
+        let got = words.complete_child(0, 1);
+        shim_assert(got == Some(expect), || {
+            format!("drain returned {got:?}, winner registered {expect:?}")
+        });
+    })
+}
+
+/// Quiescence: the worker whose release drives the count to zero must
+/// see every other worker's task effects through the counter's
+/// release/acquire chain.
+fn quiesce_publish() -> Box<dyn FnOnce() + Send + 'static> {
+    Box::new(|| {
+        let q: Arc<QuiesceState<ShimAtomics>> = Arc::new(QuiesceState::new(2));
+        let e1 = Arc::new(ShimCell::new(NONE));
+        let e2 = Arc::new(ShimCell::new(NONE));
+        let t1 = {
+            let q = Arc::clone(&q);
+            let (e1, e2) = (Arc::clone(&e1), Arc::clone(&e2));
+            spawn(move || {
+                e1.write(11);
+                if q.release(1) {
+                    // Zero-observer: the other worker's effect must be
+                    // visible (stale read = race).
+                    let v = e2.read();
+                    shim_assert(v == 22, || format!("quiescence saw effect {v}, want 22"));
+                }
+            })
+        };
+        let t2 = {
+            let q = Arc::clone(&q);
+            let (e1, e2) = (Arc::clone(&e1), Arc::clone(&e2));
+            spawn(move || {
+                e2.write(22);
+                if q.release(1) {
+                    let v = e1.read();
+                    shim_assert(v == 11, || format!("quiescence saw effect {v}, want 11"));
+                }
+            })
+        };
+        t1.join();
+        t2.join();
+        shim_assert(q.is_done(), || "both released but not done".into());
+        shim_assert(q.pending() == 0, || {
+            format!("pending {} after quiescence", q.pending())
+        });
+    })
+}
+
+/// The scenario corpus, smallest first.
+pub const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "deque-last-elem",
+        about: "owner pop fast path vs a stale-bottom thief",
+        make: deque_last_elem,
+    },
+    Scenario {
+        name: "deque-publish",
+        about: "thief steals concurrently with owner pushes",
+        make: deque_publish,
+    },
+    Scenario {
+        name: "steal-half-1",
+        about: "steal_half batching vs owner, one thief",
+        make: steal_half_1,
+    },
+    Scenario {
+        name: "steal-half-2",
+        about: "steal_half batching vs owner, two thieves",
+        make: steal_half_2,
+    },
+    Scenario {
+        name: "mailbox-spsc",
+        about: "SPSC ring producer/consumer prefix delivery",
+        make: mailbox_spsc,
+    },
+    Scenario {
+        name: "markword-claim-publish",
+        about: "probe of a claimed color publishes the claimer's prep",
+        make: markword_claim_publish,
+    },
+    Scenario {
+        name: "markword-parent-race",
+        about: "rival claims: one winner, drain returns its parent",
+        make: markword_parent_race,
+    },
+    Scenario {
+        name: "quiesce-publish",
+        about: "zero-observer sees every released worker's effects",
+        make: quiesce_publish,
+    },
+];
+
+/// Looks up a scenario by name.
+pub fn scenario(name: &str) -> Option<&'static Scenario> {
+    SCENARIOS.iter().find(|s| s.name == name)
+}
+
+/// One seeded ordering mutation and the invariant expected to kill it.
+pub struct Mutation {
+    /// The weakened/moved operation.
+    pub site: Site,
+    /// The scenario that must catch it.
+    pub scenario: &'static str,
+    /// What the mutation does to the code.
+    pub what: &'static str,
+    /// The invariant (or race) that kills it.
+    pub killed_by: &'static str,
+}
+
+/// The full mutation table: every entry must be *caught* (a clean
+/// exploration of the same scenario must also pass — see
+/// `check_mutation` / `check_clean`).
+pub const MUTATIONS: &[Mutation] = &[
+    Mutation {
+        site: Site::DequeLastElem,
+        scenario: "deque-last-elem",
+        what: "the pop-store/steal-load SeqCst pair on bottom -> Relaxed",
+        killed_by: "deepest task consumed twice (owner fast path + stale-bottom steal)",
+    },
+    Mutation {
+        site: Site::DequeBottomPublish,
+        scenario: "deque-publish",
+        what: "push's bottom publish Release -> Relaxed",
+        killed_by: "thief steals an unpublished cell (stale ring garbage)",
+    },
+    Mutation {
+        site: Site::MailboxTailPublish,
+        scenario: "mailbox-spsc",
+        what: "ring tail publish Release -> Relaxed",
+        killed_by: "consumer drains a stale head-of-ring cell",
+    },
+    Mutation {
+        site: Site::MwClaimCas,
+        scenario: "markword-claim-publish",
+        what: "claim CAS success AcqRel -> Relaxed",
+        killed_by: "probe sees the claim, prep read races (stale payload)",
+    },
+    Mutation {
+        site: Site::MwParentPublish,
+        scenario: "markword-parent-race",
+        what: "parent word published before the claim CAS",
+        killed_by: "loser clobbers winner's parent; drain misroutes the return",
+    },
+    Mutation {
+        site: Site::QuiesceRelease,
+        scenario: "quiesce-publish",
+        what: "quiescence decrement AcqRel -> Relaxed",
+        killed_by: "zero-observer misses a released worker's effect (race)",
+    },
+];

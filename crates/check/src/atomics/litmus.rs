@@ -1,0 +1,125 @@
+//! Litmus self-tests for the weak-memory model.
+//!
+//! These are not substrate checks — they check the *checker*: classic
+//! two-thread litmus patterns whose allowed outcome sets under C11 are
+//! known. `dgr-check -- atomics` (and the integration tests) assert the
+//! model reaches exactly the weak outcomes the declared orderings allow:
+//! store buffering under `Relaxed` must reach `(0, 0)` (illegal on x86's
+//! TSO hardware, legal in the language model — the whole reason a shim
+//! layer exists), and must not under `SeqCst`; message passing must leak
+//! a stale payload under a `Relaxed` flag and must not under
+//! release/acquire.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+use dgr_atomic::{AtomicU64Api, Ordering};
+
+use super::sched::{dfs_explore, ExecCfg, Exploration};
+use super::shim::{spawn, ShimAtomicU64, ShimCell};
+
+/// Outcome recorded by [`message_pass`] when the consumer saw no flag.
+pub const MP_SKIPPED: u64 = 99;
+
+fn collect<T: Ord + Clone + Send + 'static>(
+    make: impl FnMut() -> Box<dyn FnOnce() + Send + 'static>,
+    seen: Arc<Mutex<BTreeSet<T>>>,
+    max_execs: usize,
+) -> (BTreeSet<T>, bool) {
+    let ex = dfs_explore(make, &ExecCfg::default(), max_execs);
+    let exhausted = match ex {
+        Exploration::Clean { .. } => true,
+        Exploration::Truncated { .. } => false,
+        Exploration::Failed { outcome, .. } => {
+            unreachable!("litmus scenario has no assertions: {:?}", outcome.failure)
+        }
+    };
+    let set = seen.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    (set, exhausted)
+}
+
+/// Store buffering (SB): `t1: x=1; r1=y` ∥ `t2: y=1; r2=x`, both with
+/// `ord`. Returns every `(r1, r2)` the bounded exploration reached, and
+/// whether the exploration was exhaustive.
+pub fn store_buffer(ord: Ordering, max_execs: usize) -> (BTreeSet<(u64, u64)>, bool) {
+    let seen: Arc<Mutex<BTreeSet<(u64, u64)>>> = Arc::new(Mutex::new(BTreeSet::new()));
+    let make = {
+        let seen = Arc::clone(&seen);
+        move || {
+            let seen = Arc::clone(&seen);
+            Box::new(move || {
+                let x = Arc::new(ShimAtomicU64::new(0));
+                let y = Arc::new(ShimAtomicU64::new(0));
+                let r1c = Arc::new(ShimCell::new(0));
+                let r2c = Arc::new(ShimCell::new(0));
+                let t1 = {
+                    let (x, y, r1c) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&r1c));
+                    spawn(move || {
+                        x.store(1, ord);
+                        r1c.write(y.load(ord));
+                    })
+                };
+                let t2 = {
+                    let (x, y, r2c) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&r2c));
+                    spawn(move || {
+                        y.store(1, ord);
+                        r2c.write(x.load(ord));
+                    })
+                };
+                t1.join();
+                t2.join();
+                seen.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert((r1c.read(), r2c.read()));
+            }) as Box<dyn FnOnce() + Send + 'static>
+        }
+    };
+    collect(make, seen, max_execs)
+}
+
+/// Message passing (MP): `t1: data=42 (Relaxed); flag=1 (pub_ord)` ∥
+/// `t2: if flag (con_ord) { r=data (Relaxed) }`. Returns every observed
+/// `r` ([`MP_SKIPPED`] when the consumer missed the flag), and whether
+/// the exploration was exhaustive.
+pub fn message_pass(
+    pub_ord: Ordering,
+    con_ord: Ordering,
+    max_execs: usize,
+) -> (BTreeSet<u64>, bool) {
+    let seen: Arc<Mutex<BTreeSet<u64>>> = Arc::new(Mutex::new(BTreeSet::new()));
+    let make = {
+        let seen = Arc::clone(&seen);
+        move || {
+            let seen = Arc::clone(&seen);
+            Box::new(move || {
+                let data = Arc::new(ShimAtomicU64::new(0));
+                let flag = Arc::new(ShimAtomicU64::new(0));
+                let rc = Arc::new(ShimCell::new(0));
+                let t1 = {
+                    let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
+                    spawn(move || {
+                        data.store(42, Ordering::Relaxed);
+                        flag.store(1, pub_ord);
+                    })
+                };
+                let t2 = {
+                    let (data, flag, rc) = (Arc::clone(&data), Arc::clone(&flag), Arc::clone(&rc));
+                    spawn(move || {
+                        let r = if flag.load(con_ord) == 1 {
+                            data.load(Ordering::Relaxed)
+                        } else {
+                            MP_SKIPPED
+                        };
+                        rc.write(r);
+                    })
+                };
+                t1.join();
+                t2.join();
+                seen.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(rc.read());
+            }) as Box<dyn FnOnce() + Send + 'static>
+        }
+    };
+    collect(make, seen, max_execs)
+}

@@ -1,0 +1,427 @@
+//! A view-based operational model of the C11 memory fragment the
+//! substrate uses (Relaxed/Acquire/Release/AcqRel/SeqCst atomics, plus
+//! non-atomic cells with happens-before race detection).
+//!
+//! Every location carries its full **modification order** as a list of
+//! timestamped messages; every virtual thread carries a **view** — a per-
+//! location lower bound on the timestamps it may still read. The model is
+//! the standard "promising-free" view machine:
+//!
+//! * a **store** appends a message at the tail of the location's
+//!   modification order; a release-or-stronger store attaches the storing
+//!   thread's current view to the message;
+//! * a **load** may read *any* message timestamped at or above the
+//!   thread's view of that location — which message is a branch point the
+//!   scheduler enumerates. An acquire-or-stronger load joins the message's
+//!   attached view into the thread's (that edge is exactly
+//!   release/acquire synchronization); a Relaxed load only advances the
+//!   per-location bound, which is how store-buffering and message-passing
+//!   reorderings become *observable* here even though the host is x86;
+//! * an **RMW** always reads the newest message (atomicity of the
+//!   modification order) and always propagates the read message's
+//!   attached view into the one it writes (release-sequence
+//!   continuation), joining its own view in when its write half is
+//!   release-or-stronger;
+//! * **SeqCst** accesses additionally synchronize through one global SC
+//!   front `S` (itself a view), **per location**: before the access the
+//!   thread raises its bound for *that location* to `S`'s, and after the
+//!   access it publishes the timestamp it read or wrote into `S` for that
+//!   location. Because the execution's step order totally orders all SC
+//!   accesses (and extends happens-before), this enforces C11's SC
+//!   axioms — an SC load can never read below the newest SC store to the
+//!   same location — while deliberately *not* transferring the thread's
+//!   whole view: an SC load of `top` must not act as a release of an
+//!   earlier Relaxed store to `bottom`, or real Chase–Lev ordering bugs
+//!   become unobservable. SC **fences** do exchange full views with `S`
+//!   (join both ways), the classic over-approximation of fence-to-fence
+//!   SC edges — stronger than C11, never weaker;
+//! * a **cell** (non-atomic data) keeps a write counter in the same
+//!   timestamp space: reading while the thread's view is behind the
+//!   newest write, or writing over an unseen write, is reported as a data
+//!   race. (Write-after-unseen-read is not tracked; the seeded mutations
+//!   all manifest as stale reads or write-write races.)
+//!
+//! A failed CAS reads the newest message rather than enumerating stale
+//! ones — a legal (always-available) choice that trims the search space;
+//! the stale-read behaviors a failed CAS could exhibit are covered by the
+//! plain loads in the same protocols.
+
+use dgr_atomic::Ordering;
+
+/// Timestamp in a location's modification order (`0` = the initial
+/// value); doubles as the write counter of non-atomic cells.
+pub type Ts = u64;
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Per-location lower bounds on readable timestamps. Missing entries
+/// (locations allocated after the view was created) read as `0`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct View {
+    lb: Vec<Ts>,
+}
+
+impl View {
+    /// The bound for `loc`.
+    pub fn get(&self, loc: usize) -> Ts {
+        self.lb.get(loc).copied().unwrap_or(0)
+    }
+
+    /// Raises the bound for `loc` to at least `ts`.
+    pub fn raise(&mut self, loc: usize, ts: Ts) {
+        if self.lb.len() <= loc {
+            self.lb.resize(loc + 1, 0);
+        }
+        self.lb[loc] = self.lb[loc].max(ts);
+    }
+
+    /// Pointwise maximum with `other`.
+    pub fn join(&mut self, other: &View) {
+        if self.lb.len() < other.lb.len() {
+            self.lb.resize(other.lb.len(), 0);
+        }
+        for (loc, &ts) in other.lb.iter().enumerate() {
+            self.lb[loc] = self.lb[loc].max(ts);
+        }
+    }
+}
+
+/// One message in a location's modification order.
+#[derive(Debug, Clone)]
+pub struct Msg {
+    /// Position in the modification order (index in `msgs`).
+    pub ts: Ts,
+    /// The stored value.
+    pub val: u64,
+    /// The release view attached by a release-or-stronger store (what an
+    /// acquire load of this message synchronizes with).
+    pub view: Option<View>,
+}
+
+/// What kind of location this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocKind {
+    /// An atomic touched only through the facade traits.
+    Atomic,
+    /// A non-atomic cell under race detection.
+    Cell,
+}
+
+/// One location's full state.
+#[derive(Debug)]
+pub struct LocState {
+    /// Short render name (`a3`, `c1`) used in schedules.
+    pub name: String,
+    /// Atomic or race-checked cell.
+    pub kind: LocKind,
+    /// The modification order, oldest first; `msgs[0]` is the initial
+    /// value with timestamp `0`.
+    pub msgs: Vec<Msg>,
+}
+
+/// A data race (or model-level error) detected during an execution.
+#[derive(Debug, Clone)]
+pub struct Race(pub String);
+
+/// Supplies the read-message branch decisions (the scheduler).
+pub trait ReadChooser {
+    /// Picks among `n` readable messages of `loc` (index `0` = newest).
+    fn choose_read(&mut self, loc: usize, n: usize) -> usize;
+}
+
+/// The whole shared memory of one model execution.
+#[derive(Debug, Default)]
+pub struct Memory {
+    /// Every allocated location, atomics and cells alike.
+    pub locs: Vec<LocState>,
+    /// The global SC view `S`.
+    pub sc: View,
+    /// Per-virtual-thread views.
+    pub views: Vec<View>,
+}
+
+impl Memory {
+    /// Allocates a location holding `init`; returns its id.
+    pub fn alloc(&mut self, kind: LocKind, init: u64) -> usize {
+        let id = self.locs.len();
+        let prefix = match kind {
+            LocKind::Atomic => 'a',
+            LocKind::Cell => 'c',
+        };
+        self.locs.push(LocState {
+            name: format!("{prefix}{id}"),
+            kind,
+            msgs: vec![Msg {
+                ts: 0,
+                val: init,
+                view: None,
+            }],
+        });
+        id
+    }
+
+    /// Makes sure a view exists for virtual thread `tid`.
+    pub fn ensure_thread(&mut self, tid: usize) {
+        if self.views.len() <= tid {
+            self.views.resize(tid + 1, View::default());
+        }
+    }
+
+    fn newest(&self, loc: usize) -> &Msg {
+        self.locs[loc]
+            .msgs
+            .last()
+            .expect("init message always exists")
+    }
+
+    /// Atomic load; `chooser` picks which readable message is observed.
+    /// Returns the value read.
+    pub fn load(
+        &mut self,
+        tid: usize,
+        loc: usize,
+        ord: Ordering,
+        chooser: &mut dyn ReadChooser,
+    ) -> u64 {
+        debug_assert_eq!(self.locs[loc].kind, LocKind::Atomic);
+        if ord == Ordering::SeqCst {
+            let s = self.sc.get(loc);
+            self.views[tid].raise(loc, s);
+        }
+        let floor = self.views[tid].get(loc);
+        // Newest first, so choice 0 (the default) is the SC-like read and
+        // forced alternatives walk backward into progressively staler
+        // messages.
+        let readable: Vec<usize> = (0..self.locs[loc].msgs.len())
+            .rev()
+            .filter(|&i| self.locs[loc].msgs[i].ts >= floor)
+            .collect();
+        let pick = chooser.choose_read(loc, readable.len());
+        let msg = &self.locs[loc].msgs[readable[pick]];
+        let (ts, val, mview) = (msg.ts, msg.val, msg.view.clone());
+        self.views[tid].raise(loc, ts);
+        if is_acquire(ord) {
+            if let Some(v) = mview {
+                self.views[tid].join(&v);
+            }
+        }
+        if ord == Ordering::SeqCst {
+            self.sc.raise(loc, ts);
+        }
+        val
+    }
+
+    /// Atomic store: appends at the tail of the modification order.
+    pub fn store(&mut self, tid: usize, loc: usize, val: u64, ord: Ordering) {
+        let ts = self.newest(loc).ts + 1;
+        self.views[tid].raise(loc, ts);
+        let view = is_release(ord).then(|| self.views[tid].clone());
+        self.locs[loc].msgs.push(Msg { ts, val, view });
+        if ord == Ordering::SeqCst {
+            self.sc.raise(loc, ts);
+        }
+    }
+
+    /// Atomic read-modify-write: reads the newest message, stores
+    /// `f(old)` after it (if `Some`), and returns the old value. A `None`
+    /// from `f` (failed CAS) degrades to a newest-message load at `ord`.
+    pub fn rmw(
+        &mut self,
+        tid: usize,
+        loc: usize,
+        ord: Ordering,
+        f: impl FnOnce(u64) -> Option<u64>,
+    ) -> u64 {
+        if ord == Ordering::SeqCst {
+            let s = self.sc.get(loc);
+            self.views[tid].raise(loc, s);
+        }
+        let msg = self.newest(loc);
+        let (old_ts, old, read_view) = (msg.ts, msg.val, msg.view.clone());
+        self.views[tid].raise(loc, old_ts);
+        if is_acquire(ord) {
+            if let Some(v) = &read_view {
+                self.views[tid].join(v);
+            }
+        }
+        if let Some(new) = f(old) {
+            let ts = old_ts + 1;
+            self.views[tid].raise(loc, ts);
+            // Release-sequence continuation: the written message carries
+            // the read message's release view even if this RMW's own
+            // write half is not a release.
+            let mut view = if is_release(ord) {
+                Some(self.views[tid].clone())
+            } else {
+                None
+            };
+            if let Some(rv) = read_view {
+                match &mut view {
+                    Some(v) => v.join(&rv),
+                    None => view = Some(rv),
+                }
+            }
+            self.locs[loc].msgs.push(Msg { ts, val: new, view });
+        }
+        if ord == Ordering::SeqCst {
+            let v = self.views[tid].clone();
+            self.sc.join(&v);
+        }
+        old
+    }
+
+    /// Non-atomic cell write with write-write race detection.
+    pub fn cell_write(&mut self, tid: usize, loc: usize, val: u64) -> Result<(), Race> {
+        debug_assert_eq!(self.locs[loc].kind, LocKind::Cell);
+        let newest = self.newest(loc).ts;
+        if self.views[tid].get(loc) < newest {
+            return Err(Race(format!(
+                "data race: t{tid} writes {} over an unseen write (view ts {} < newest ts {newest})",
+                self.locs[loc].name,
+                self.views[tid].get(loc),
+            )));
+        }
+        let ts = newest + 1;
+        self.views[tid].raise(loc, ts);
+        self.locs[loc].msgs.push(Msg {
+            ts,
+            val,
+            view: None,
+        });
+        Ok(())
+    }
+
+    /// Non-atomic cell read with stale-read race detection.
+    pub fn cell_read(&self, tid: usize, loc: usize) -> Result<u64, Race> {
+        let newest = self.newest(loc);
+        if self.views[tid].get(loc) < newest.ts {
+            return Err(Race(format!(
+                "data race: t{tid} reads {} without happens-before to its last write \
+                 (view ts {} < newest ts {})",
+                self.locs[loc].name,
+                self.views[tid].get(loc),
+                newest.ts,
+            )));
+        }
+        Ok(newest.val)
+    }
+
+    /// Memory fence. Modeled as an SC fence regardless of `ord` — an
+    /// over-approximation that is conservative for the *checker* (it can
+    /// hide weak-fence bugs, never invent behaviors); the substrate's hot
+    /// paths use no fences, so nothing currently leans on this.
+    pub fn fence(&mut self, tid: usize, _ord: Ordering) {
+        let sc = self.sc.clone();
+        self.views[tid].join(&sc);
+        let v = self.views[tid].clone();
+        self.sc.join(&v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Forces a fixed read choice sequence; panics if asked past the end.
+    struct Fixed(Vec<usize>, usize);
+    impl ReadChooser for Fixed {
+        fn choose_read(&mut self, _loc: usize, n: usize) -> usize {
+            let c = if self.1 < self.0.len() {
+                self.0[self.1]
+            } else {
+                0
+            };
+            self.1 += 1;
+            assert!(c < n, "forced choice out of range");
+            c
+        }
+    }
+
+    #[test]
+    fn relaxed_load_can_read_stale_store() {
+        let mut m = Memory::default();
+        let x = m.alloc(LocKind::Atomic, 0);
+        m.ensure_thread(1);
+        m.store(0, x, 1, Ordering::Relaxed);
+        // Thread 1 never synchronized: both messages are readable.
+        let mut newest = Fixed(vec![0], 0);
+        assert_eq!(m.load(1, x, Ordering::Relaxed, &mut newest), 1);
+        let mut m2 = Memory::default();
+        let x2 = m2.alloc(LocKind::Atomic, 0);
+        m2.ensure_thread(1);
+        m2.store(0, x2, 1, Ordering::Relaxed);
+        let mut stale = Fixed(vec![1], 0);
+        assert_eq!(m2.load(1, x2, Ordering::Relaxed, &mut stale), 0);
+    }
+
+    #[test]
+    fn release_acquire_forbids_stale_data() {
+        // MP: data Relaxed + flag Release/Acquire — after acquiring the
+        // flag message, the data's old message is below the view floor.
+        let mut m = Memory::default();
+        let data = m.alloc(LocKind::Atomic, 0);
+        let flag = m.alloc(LocKind::Atomic, 0);
+        m.ensure_thread(1);
+        m.store(0, data, 42, Ordering::Relaxed);
+        m.store(0, flag, 1, Ordering::Release);
+        let mut newest = Fixed(vec![0], 0);
+        assert_eq!(m.load(1, flag, Ordering::Acquire, &mut newest), 1);
+        // Only one readable message remains for `data`.
+        let floor = m.views[1].get(data);
+        assert_eq!(floor, 1, "acquire joined the release view");
+        let mut only = Fixed(vec![0], 0);
+        assert_eq!(m.load(1, data, Ordering::Relaxed, &mut only), 42);
+    }
+
+    #[test]
+    fn seqcst_loads_cannot_miss_seqcst_stores() {
+        let mut m = Memory::default();
+        let x = m.alloc(LocKind::Atomic, 0);
+        m.ensure_thread(1);
+        m.store(0, x, 7, Ordering::SeqCst);
+        // The SC view forces the floor up before the load: exactly one
+        // readable message.
+        struct Count(usize);
+        impl ReadChooser for Count {
+            fn choose_read(&mut self, _loc: usize, n: usize) -> usize {
+                self.0 = n;
+                0
+            }
+        }
+        let mut c = Count(0);
+        assert_eq!(m.load(1, x, Ordering::SeqCst, &mut c), 7);
+        assert_eq!(c.0, 1, "stale init not readable at SeqCst");
+    }
+
+    #[test]
+    fn rmw_reads_newest_and_continues_release_sequence() {
+        let mut m = Memory::default();
+        let data = m.alloc(LocKind::Cell, 0);
+        let x = m.alloc(LocKind::Atomic, 0);
+        m.ensure_thread(2);
+        m.cell_write(0, data, 5).unwrap();
+        m.store(0, x, 1, Ordering::Release);
+        // t1: Relaxed RMW still propagates the release view.
+        assert_eq!(m.rmw(1, x, Ordering::Relaxed, |v| Some(v + 1)), 1);
+        // t2: acquires the RMW's message and must see the cell write.
+        let mut newest = Fixed(vec![0], 0);
+        assert_eq!(m.load(2, x, Ordering::Acquire, &mut newest), 2);
+        assert_eq!(m.cell_read(2, data).unwrap(), 5);
+    }
+
+    #[test]
+    fn stale_cell_read_is_a_race() {
+        let mut m = Memory::default();
+        let c = m.alloc(LocKind::Cell, 0);
+        m.ensure_thread(1);
+        m.cell_write(0, c, 9).unwrap();
+        assert!(m.cell_read(1, c).is_err(), "no happens-before edge");
+        assert_eq!(m.cell_read(0, c).unwrap(), 9, "writer reads its own");
+    }
+}

@@ -1,0 +1,237 @@
+//! Deterministic weak-memory model checking for the lock-free
+//! work-stealing substrate.
+//!
+//! The substrate's hot paths (`StealDeque`, `SpscRing`/`MailboxGrid`,
+//! `MarkWords`, `QuiesceState`) are generic over the
+//! [`dgr_atomic::Atomics`] facade. Production monomorphizes them to
+//! `std::sync::atomic` (a zero-cost identity — see the
+//! `zero_cost_facade` test); this module monomorphizes the *same code*
+//! to [`ShimAtomics`], whose every operation routes through an
+//! operational C11-style memory model plus a controlled scheduler:
+//!
+//! * **memory** — per-location modification order with per-thread views
+//!   (vector-clock lower bounds). Release-or-stronger stores attach the
+//!   writer's view; acquire-or-stronger loads join the message's view;
+//!   `Relaxed` loads may observe any message at or above the thread's
+//!   per-location floor. Executions that are impossible on x86's strong
+//!   hardware but legal under the language model (store buffering,
+//!   stale message passing) are therefore explored — the bugs this
+//!   checker exists to catch are exactly the ones an x86 stress test
+//!   can never produce.
+//! * **sched** — virtual threads serialized on a token; every thread
+//!   switch and every weak-memory read choice is a recorded decision.
+//!   Bounded-exhaustive DFS (preemption bound 2 by default) covers the
+//!   corpus scenarios completely; a randomized PCT-style fallback
+//!   samples deeper schedules under a time budget. Failures minimize to
+//!   the shortest forced prefix and replay deterministically
+//!   ([`crate::trace::ScheduleCx`] is the printed artifact).
+//!
+//! **Model simplifications** (all conservative about the substrate's
+//! orderings, documented so nobody mistakes this for a full C11 model):
+//! `SeqCst` accesses synchronize through a **per-location** global SC
+//! front: each SC access floors its own location at the front and
+//! publishes the timestamp it touched, which (with the execution's step
+//! order totally ordering SC accesses) enforces C11's SC axioms without
+//! inventing cross-location release edges — an earlier whole-view
+//! formulation silently made the Chase–Lev stale-`bottom` mutation
+//! unobservable. SC *fences* still exchange full views (over-strong,
+//! never weak). Failed CAS and every RMW read the
+//! *newest* message (a legal trimming: the stale-read interleavings it
+//! drops are reachable as schedule choices). RMWs propagate the read
+//! message's view into the written one (release-sequence
+//! continuation). `compare_exchange_weak` never fails spuriously.
+//! Fences are modeled as SC fences (over-strong; the substrate's hot
+//! paths use none).
+//!
+//! The scenario corpus and the seeded-mutation table live in
+//! [`harness`]; [`litmus`] self-tests the model against textbook SB/MP
+//! outcome sets.
+
+pub mod harness;
+pub mod litmus;
+mod memory;
+mod sched;
+mod shim;
+
+pub use harness::{make_steal_half, scenario, Mutation, Scenario, MUTATIONS, SCENARIOS};
+pub use sched::{
+    dfs_explore, minimize, pct_explore, replay, run_one, ChoiceKind, ChoiceRec, ExecCfg,
+    ExecOutcome, Exploration, Strategy,
+};
+pub use shim::{
+    shim_assert, spawn, ShimAtomicBool, ShimAtomicU32, ShimAtomicU64, ShimAtomicUsize, ShimAtomics,
+    ShimCell, ShimJoinHandle,
+};
+
+use crate::trace::ScheduleCx;
+
+/// Budgets for one scenario/mutation check.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// DFS execution cap per check (the corpus scenarios exhaust well
+    /// below this; hitting it falls back to PCT sampling).
+    pub max_execs: usize,
+    /// DFS preemption bound (every seeded mutation is caught within 2).
+    pub preemption_bound: usize,
+    /// PCT sampling budget in milliseconds (used when DFS truncates).
+    pub pct_millis: u64,
+    /// Base seed for PCT priority draws.
+    pub seed: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            max_execs: 200_000,
+            preemption_bound: 2,
+            pct_millis: 2_000,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl Opts {
+    fn cfg(&self, mutation: Option<dgr_atomic::Site>) -> ExecCfg {
+        ExecCfg {
+            mutation,
+            preemption_bound: self.preemption_bound,
+            max_steps: 20_000,
+            strategy: Strategy::Dfs,
+        }
+    }
+}
+
+/// How a clean scenario was shown clean.
+#[derive(Debug, Clone, Copy)]
+pub enum CleanOutcome {
+    /// The bounded tree was fully enumerated.
+    Exhausted {
+        /// Executions explored.
+        execs: usize,
+    },
+    /// DFS truncated at the execution cap; PCT sampling found nothing.
+    Sampled {
+        /// DFS executions before truncation.
+        dfs_execs: usize,
+        /// PCT executions sampled on top.
+        pct_execs: usize,
+    },
+}
+
+impl CleanOutcome {
+    /// Total executions run.
+    pub fn execs(&self) -> usize {
+        match *self {
+            CleanOutcome::Exhausted { execs } => execs,
+            CleanOutcome::Sampled {
+                dfs_execs,
+                pct_execs,
+            } => dfs_execs + pct_execs,
+        }
+    }
+}
+
+fn build_cx(
+    sc: &Scenario,
+    mutation: Option<&'static str>,
+    failing: &ExecOutcome,
+    execs: usize,
+    cfg: &ExecCfg,
+) -> ScheduleCx {
+    let min = minimize(|| (sc.make)(), cfg, failing);
+    ScheduleCx {
+        scenario: sc.name.to_string(),
+        mutation,
+        failure: min.failure.clone().unwrap_or_default(),
+        picks: min.choices.iter().map(|c| c.picked).collect(),
+        preemptions: min.preemptions,
+        execs,
+        steps: min.oplog,
+    }
+}
+
+/// Explores a scenario with no mutation: it must be clean. On failure the
+/// minimized, replayable schedule is returned — that is a real substrate
+/// bug.
+///
+/// # Errors
+///
+/// The minimized counterexample if any explored execution failed.
+pub fn check_clean(sc: &Scenario, opts: &Opts) -> Result<CleanOutcome, Box<ScheduleCx>> {
+    let cfg = opts.cfg(None);
+    match dfs_explore(|| (sc.make)(), &cfg, opts.max_execs) {
+        Exploration::Clean { execs } => Ok(CleanOutcome::Exhausted { execs }),
+        Exploration::Failed { outcome, execs } => {
+            Err(Box::new(build_cx(sc, None, &outcome, execs, &cfg)))
+        }
+        Exploration::Truncated { execs } => {
+            let budget = std::time::Duration::from_millis(opts.pct_millis);
+            match pct_explore(|| (sc.make)(), &cfg, budget, opts.seed) {
+                Exploration::Failed { outcome, execs: p } => {
+                    Err(Box::new(build_cx(sc, None, &outcome, execs + p, &cfg)))
+                }
+                Exploration::Clean { execs: p } | Exploration::Truncated { execs: p } => {
+                    Ok(CleanOutcome::Sampled {
+                        dfs_execs: execs,
+                        pct_execs: p,
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Activates one seeded ordering mutation and demands the checker catch
+/// it: DFS first, PCT fallback, then the counterexample is minimized and
+/// re-verified by deterministic replay.
+///
+/// # Errors
+///
+/// A description if the mutation escaped the exploration budgets (which
+/// would mean the corpus is vacuous for that site), or if the minimized
+/// schedule failed to replay.
+pub fn check_mutation(m: &Mutation, opts: &Opts) -> Result<ScheduleCx, String> {
+    let sc = scenario(m.scenario).ok_or_else(|| {
+        format!(
+            "mutation {} names unknown scenario {}",
+            m.site.name(),
+            m.scenario
+        )
+    })?;
+    let cfg = opts.cfg(Some(m.site));
+    let found = match dfs_explore(|| (sc.make)(), &cfg, opts.max_execs) {
+        Exploration::Failed { outcome, execs } => Some((outcome, execs)),
+        Exploration::Clean { execs } | Exploration::Truncated { execs } => {
+            let budget = std::time::Duration::from_millis(opts.pct_millis);
+            match pct_explore(|| (sc.make)(), &cfg, budget, opts.seed) {
+                Exploration::Failed { outcome, execs: p } => Some((outcome, execs + p)),
+                _ => None,
+            }
+        }
+    };
+    let (outcome, execs) = found.ok_or_else(|| {
+        format!(
+            "mutation {} ({}) escaped: {} clean within budget on scenario {}",
+            m.site.name(),
+            m.what,
+            execs_hint(opts),
+            m.scenario
+        )
+    })?;
+    let cx = build_cx(sc, Some(m.site.name()), &outcome, execs, &cfg);
+    let rep = replay((sc.make)(), &cx.picks, &cfg);
+    match rep.failure {
+        Some(_) => Ok(cx),
+        None => Err(format!(
+            "minimized schedule for mutation {} did not replay to a failure",
+            m.site.name()
+        )),
+    }
+}
+
+fn execs_hint(opts: &Opts) -> String {
+    format!(
+        "DFS ≤ {} execs + PCT {} ms",
+        opts.max_execs, opts.pct_millis
+    )
+}

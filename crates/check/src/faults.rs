@@ -2,13 +2,16 @@
 //!
 //! A checker that never fires is indistinguishable from a checker that
 //! works. Each [`Fault`] here re-creates a known way to get the protocol
-//! wrong — dropping a `Return`, double-counting `mt-cnt`, marking a vertex
-//! before its children returned, skipping `mark2`'s upgrade rule,
-//! misrouting a return to the dummy root, splicing an arc without the
-//! `add-reference` cooperation — and the harness demands the explorer
-//! catches every one with a replayable counterexample. [`pass_ordering`]
-//! covers the one fault that is not an interleaving fault: running `M_R`
-//! before `M_T` across a GC cycle, which fabricates deadlocks.
+//! wrong — dropping a `Return`, delivering one twice, double-counting
+//! `mt-cnt`, marking a vertex before its children returned, skipping
+//! `mark2`'s upgrade rule, misrouting a return to the dummy root, splicing
+//! an arc without the `add-reference` cooperation — and the harness
+//! demands the explorer catches every one with a replayable
+//! counterexample. [`pass_ordering`] covers the one fault that is not an
+//! interleaving fault: running `M_R` before `M_T` across a GC cycle, which
+//! fabricates deadlocks. [`Fault::ReorderDeliver`] points the other way:
+//! it is a *transport* fault the protocol must tolerate, so it is explored
+//! over the whole corpus and must stay clean.
 //!
 //! This module is the only place outside the graph/handler layer allowed
 //! to mutate mark state directly (`mark_mut`) — that is the point: it
@@ -46,18 +49,31 @@ pub enum Fault {
     /// Perform `add-reference` as a raw arc splice, without the
     /// Figure 4-2 cooperation.
     SkipCoopSplice,
+    /// Re-enqueue the first delivered `Return` (duplicate delivery —
+    /// breaks count accounting in the opposite direction from
+    /// [`Fault::DropReturn`]; invariant 3's owed-return tally must flag
+    /// the extra message the moment it enters a mailbox).
+    DuplicateDeliver,
+    /// Once per run, a FIFO mailbox may deliver its second message before
+    /// its first. Unlike every other variant this is a fault of the
+    /// *transport*, not the protocol, and the protocol must tolerate it:
+    /// the corpus is explored under it and must stay clean (the paper's
+    /// marking protocol never leans on mailbox ordering — any-order mode
+    /// already proves the superset, this pins the FIFO modes too).
+    ReorderDeliver,
 }
 
 impl Fault {
     /// The interleaving faults the harness injects (pass ordering is
     /// checked separately by [`pass_ordering`]).
-    pub const INJECTED: [Fault; 6] = [
+    pub const INJECTED: [Fault; 7] = [
         Fault::DropReturn,
         Fault::MisrouteReturn,
         Fault::DoubleCount,
         Fault::PrematureMark,
         Fault::SkipUpgrade,
         Fault::SkipCoopSplice,
+        Fault::DuplicateDeliver,
     ];
 
     /// Short stable name for reports.
@@ -70,6 +86,8 @@ impl Fault {
             Fault::PrematureMark => "premature-mark",
             Fault::SkipUpgrade => "skip-upgrade",
             Fault::SkipCoopSplice => "skip-coop-splice",
+            Fault::DuplicateDeliver => "duplicate-deliver",
+            Fault::ReorderDeliver => "reorder-deliver",
         }
     }
 
@@ -132,6 +150,12 @@ pub fn post_deliver(w: &mut World, ctx: &Ctx, msg: &MarkMsg, out: &mut Vec<MarkM
                     w.fault_fired = true;
                     break;
                 }
+            }
+        }
+        Fault::DuplicateDeliver => {
+            if matches!(msg, MarkMsg::Return { .. }) {
+                out.push(*msg);
+                w.fault_fired = true;
             }
         }
         Fault::DoubleCount | Fault::PrematureMark => {

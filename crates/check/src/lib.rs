@@ -26,12 +26,21 @@
 //! catch every one — proving the green corpus runs are not vacuous.
 //!
 //! [`lint`] is a small repo-specific source lint (mark-word memory
-//! orderings, mark-state mutation confinement) run in CI alongside the
-//! model checker.
+//! orderings, mark-state mutation confinement, atomics-facade bypasses)
+//! run in CI alongside the model checker.
+//!
+//! [`atomics`] is the second model-checking layer: where [`explore`]
+//! enumerates *message delivery* interleavings over the protocol state
+//! machine, `atomics` enumerates *instruction-level* interleavings and
+//! C11 weak-memory behaviors of the lock-free work-stealing substrate
+//! itself (`StealDeque`, mailbox rings, mark words, quiescence), by
+//! monomorphizing the production code over a shim `Atomics` facade. It
+//! has its own seeded-mutation table proving those checks non-vacuous.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atomics;
 pub mod explore;
 pub mod faults;
 pub mod lint;

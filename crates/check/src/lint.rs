@@ -27,6 +27,18 @@
 //!    does not know about.
 //! 5. **no `unsafe`** — the workspace forbids `unsafe` outside `vendor/`;
 //!    this catches it even where a crate forgot its `forbid` attribute.
+//! 6. **facade bypass** — the modules model-checked through the
+//!    `dgr-atomic` facade (`deque`, `mailbox`, `quiesce`, `markword`)
+//!    must not touch `std::sync::atomic` directly: a raw atomic there is
+//!    invisible to `dgr-check -- atomics`, so its orderings are unverified
+//!    by construction. Production code still gets std atomics — via the
+//!    `StdAtomics` monomorphization, which the zero-cost test pins.
+//! 7. **ordering comment** — in those modules (plus the runtime wiring in
+//!    `sim/src/steal.rs`), every non-`Relaxed` ordering must carry an
+//!    `// ordering:` comment on the same or one of the two preceding
+//!    lines, stating what the edge publishes or acquires. The SeqCst
+//!    audit that introduced the facade justified every survivor; this
+//!    rule keeps future edits honest. Test modules are exempt.
 //!
 //! The needles below are spelled with `concat!` so the lint does not flag
 //! its own source.
@@ -62,6 +74,28 @@ const UNSAFE_NEEDLES: [&str; 4] = [
     concat!("uns", "afe impl"),
     concat!("uns", "afe trait"),
 ];
+const STD_ATOMIC: &str = concat!("std::sync::", "atomic");
+const ORDERING_STRONG: [&str; 4] = [
+    concat!("Ordering::", "Acquire"),
+    concat!("Ordering::", "Release"),
+    concat!("Ordering::", "AcqRel"),
+    concat!("Ordering::", "SeqCst"),
+];
+const ORDERING_COMMENT: &str = concat!("// ord", "ering:");
+
+/// The substrate modules that are generic over the atomics facade and
+/// model-checked by `atomics` — raw std atomics are banned here.
+const SHIMMED: [&str; 4] = [
+    "crates/sim/src/deque.rs",
+    "crates/sim/src/mailbox.rs",
+    "crates/sim/src/quiesce.rs",
+    "crates/graph/src/markword.rs",
+];
+
+/// Where every surviving non-Relaxed ordering must be annotated.
+fn ordering_commented_scope(rel: &str) -> bool {
+    SHIMMED.contains(&rel) || rel == "crates/sim/src/steal.rs"
+}
 
 /// Files (repo-relative, `/`-separated) allowed to mutate mark slots
 /// directly. `crates/graph/src/` is prefix-matched: the graph crate owns
@@ -79,7 +113,9 @@ fn allowed_mut(rel: &str) -> bool {
 }
 
 fn allowed_deque(rel: &str) -> bool {
-    rel.starts_with("crates/sim/src/")
+    // The runtime owns the deques; the weak-memory checker's scenario
+    // harness legitimately constructs them to model-check that ownership.
+    rel.starts_with("crates/sim/src/") || rel == "crates/check/src/atomics/harness.rs"
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
@@ -130,7 +166,8 @@ pub fn run(root: &Path) -> Vec<Finding> {
             continue;
         };
         let mut in_tests = false;
-        for (i, l) in text.lines().enumerate() {
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, &l) in lines.iter().enumerate() {
             let t = l.trim();
             // Everything from the test module on is exempt from the
             // confinement rule (tests legitimately hand-construct states).
@@ -180,6 +217,37 @@ pub fn run(root: &Path) -> Vec<Finding> {
                     text: t.to_string(),
                 });
             }
+            if !in_tests && SHIMMED.contains(&rel.as_str()) && l.contains(STD_ATOMIC) {
+                findings.push(Finding {
+                    file: rel.clone(),
+                    line: i + 1,
+                    rule: "facade-bypass",
+                    text: t.to_string(),
+                });
+            }
+            if !in_tests
+                && ordering_commented_scope(&rel)
+                && ORDERING_STRONG.iter().any(|n| l.contains(n))
+            {
+                // The annotation may sit on the same line or anywhere in
+                // the contiguous run of non-blank lines above (rustfmt
+                // splits builder chains, and the justification comments
+                // span several lines); a blank line ends the statement's
+                // neighborhood. Capped at 12 lines so a far-away comment
+                // can't blanket a whole function.
+                let annotated = (i.saturating_sub(12)..=i)
+                    .rev()
+                    .take_while(|&j| j == i || !lines[j].trim().is_empty())
+                    .any(|j| lines[j].contains(ORDERING_COMMENT));
+                if !annotated {
+                    findings.push(Finding {
+                        file: rel.clone(),
+                        line: i + 1,
+                        rule: "ordering-comment",
+                        text: t.to_string(),
+                    });
+                }
+            }
         }
     }
     findings
@@ -220,6 +288,30 @@ mod tests {
         assert!(findings.iter().any(|f| f.rule == "mark-state-confinement"));
         assert!(findings.iter().any(|f| f.rule == "markword-array-relaxed"));
         assert!(findings.iter().any(|f| f.rule == "deque-confinement"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn atomics_rules_fire_in_shimmed_modules() {
+        let dir = std::env::temp_dir().join("dgr-check-lint-fixture-atomics");
+        let src = dir.join("crates").join("sim").join("src");
+        fs::create_dir_all(&src).unwrap();
+        // A raw std atomic and an unannotated strong ordering, placed in
+        // a shimmed module path; an annotated one must NOT fire.
+        let bad = format!(
+            "use {}::AtomicU64;\nfn f(x: &AtomicU64) {{\n    x.load({});\n    \
+             {} top publishes stolen cells\n    x.store(1, {});\n}}\n",
+            STD_ATOMIC, ORDERING_STRONG[3], ORDERING_COMMENT, ORDERING_STRONG[1]
+        );
+        fs::write(src.join("deque.rs"), bad).unwrap();
+        let findings = run(&dir);
+        assert!(findings.iter().any(|f| f.rule == "facade-bypass"));
+        let oc: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "ordering-comment")
+            .collect();
+        assert_eq!(oc.len(), 1, "only the unannotated ordering fires: {oc:#?}");
+        assert_eq!(oc[0].line, 3);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

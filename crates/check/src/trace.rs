@@ -60,6 +60,58 @@ impl Counterexample {
     }
 }
 
+/// A minimized, replayable schedule from the weak-memory checker
+/// ([`crate::atomics`]): the atomics-layer counterpart of
+/// [`Counterexample`].
+///
+/// `picks` is the complete recorded choice string (thread switches and
+/// weak-memory read choices, in operation order); feeding it back to
+/// [`crate::atomics::replay`] reproduces the identical execution. The
+/// minimizer has already reduced it to the shortest forced prefix that
+/// still fails — everything past the prefix is the SC-like default, so
+/// the printed schedule shows the fewest deviations from sequential
+/// execution that trigger the bug.
+#[derive(Debug, Clone)]
+pub struct ScheduleCx {
+    /// Scenario name ([`crate::atomics::scenario`] resolves it).
+    pub scenario: String,
+    /// Active seeded mutation ([`dgr_atomic::Site::name`]), or `None`
+    /// for a failure found in unmutated code — a genuine substrate bug.
+    pub mutation: Option<&'static str>,
+    /// The checker's description of the violation (scenario assertion,
+    /// data race, deadlock, or step-budget blowup).
+    pub failure: String,
+    /// The recorded choice string (the replay key).
+    pub picks: Vec<usize>,
+    /// Preemptions the schedule needed.
+    pub preemptions: usize,
+    /// Executions explored before this one was found.
+    pub execs: usize,
+    /// Human-readable operation log of the minimized execution.
+    pub steps: Vec<String>,
+}
+
+impl ScheduleCx {
+    /// Renders the schedule as a step-by-step script with the replay key.
+    pub fn script(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# scenario {} | mutation {} | {} preemption(s) | found after {} exec(s)",
+            self.scenario,
+            self.mutation.unwrap_or("none"),
+            self.preemptions,
+            self.execs
+        );
+        let _ = writeln!(out, "# replay picks: {:?}", self.picks);
+        for (i, s) in self.steps.iter().enumerate() {
+            let _ = writeln!(out, "{:>3}. {s}", i + 1);
+        }
+        let _ = writeln!(out, "  => {}", self.failure);
+        out
+    }
+}
+
 fn describe_mut(m: &MutAction) -> String {
     match *m {
         MutAction::AddReference { a, b, c } => format!("add-reference({a}, {b}, {c})"),

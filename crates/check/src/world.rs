@@ -201,6 +201,19 @@ impl World {
                         msg: m,
                     });
                 }
+                // One-shot transport reorder: the second message may jump
+                // the queue. Skipped when it equals the front by value —
+                // delivering it would not be a reorder at all.
+                if ctx.fault == Fault::ReorderDeliver && !self.fault_fired {
+                    if let Some(&m) = q.get(1) {
+                        if q.front() != Some(&m) {
+                            acts.push(Action::Deliver {
+                                pe: pe as u16,
+                                msg: m,
+                            });
+                        }
+                    }
+                }
             }
         }
         if self.mut_cursor < ctx.built.muts.len() {
@@ -231,7 +244,11 @@ impl World {
                     .position(|m| *m == msg)
                     .ok_or_else(|| format!("replay desync: {msg:?} not pending on pe{pe}"))?;
                 if !ctx.mode.any_order && pos != 0 {
-                    return Err(format!("replay desync: {msg:?} not at front of pe{pe}"));
+                    if ctx.fault == Fault::ReorderDeliver && !self.fault_fired && pos == 1 {
+                        self.fault_fired = true;
+                    } else {
+                        return Err(format!("replay desync: {msg:?} not at front of pe{pe}"));
+                    }
                 }
                 q.remove(pos);
                 let mut out: Vec<MarkMsg> = Vec::new();

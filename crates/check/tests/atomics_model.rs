@@ -1,0 +1,94 @@
+//! End-to-end checks of the weak-memory model checker: litmus outcome
+//! sets, the clean scenario corpus, and the seeded-mutation table.
+
+use std::collections::BTreeSet;
+
+use dgr_atomic::Ordering;
+use dgr_check::atomics::{check_clean, check_mutation, litmus, Opts, MUTATIONS, SCENARIOS};
+
+fn opts() -> Opts {
+    Opts {
+        // Debug-build execution rate is a few thousand per second; keep
+        // the DFS cap low enough that the big scenarios (steal-half-2)
+        // hand over to PCT sampling quickly. CI runs the release-mode
+        // CLI with the full default budgets.
+        max_execs: 30_000,
+        pct_millis: 2_000,
+        ..Opts::default()
+    }
+}
+
+#[test]
+fn litmus_store_buffer_relaxed_reaches_the_weak_outcome() {
+    let (set, exhausted) = litmus::store_buffer(Ordering::Relaxed, 100_000);
+    assert!(exhausted, "SB litmus should be tiny");
+    // (0, 0) is impossible on x86 hardware but legal under Relaxed —
+    // reaching it is the point of modeling the language, not the host.
+    assert!(set.contains(&(0, 0)), "weak outcome missing: {set:?}");
+    assert!(
+        set.contains(&(1, 1)),
+        "interleaved outcome missing: {set:?}"
+    );
+}
+
+#[test]
+fn litmus_store_buffer_seqcst_forbids_the_weak_outcome() {
+    let (set, exhausted) = litmus::store_buffer(Ordering::SeqCst, 100_000);
+    assert!(exhausted, "SB litmus should be tiny");
+    assert!(!set.contains(&(0, 0)), "SeqCst must forbid (0, 0): {set:?}");
+    assert!(set.contains(&(1, 1)), "{set:?}");
+}
+
+#[test]
+fn litmus_message_pass_relaxed_leaks_stale_data() {
+    let (set, exhausted) = litmus::message_pass(Ordering::Relaxed, Ordering::Relaxed, 100_000);
+    assert!(exhausted, "MP litmus should be tiny");
+    assert!(set.contains(&0), "stale payload missing: {set:?}");
+    assert!(set.contains(&42), "fresh payload missing: {set:?}");
+}
+
+#[test]
+fn litmus_message_pass_release_acquire_is_exact() {
+    let (set, exhausted) = litmus::message_pass(Ordering::Release, Ordering::Acquire, 100_000);
+    assert!(exhausted, "MP litmus should be tiny");
+    assert_eq!(
+        set,
+        BTreeSet::from([42, litmus::MP_SKIPPED]),
+        "release/acquire allows exactly fresh-or-skipped"
+    );
+}
+
+#[test]
+fn corpus_is_clean_on_unmutated_code() {
+    let opts = opts();
+    for sc in SCENARIOS {
+        match check_clean(sc, &opts) {
+            Ok(o) => println!("clean {:<24} {:>7} exec(s)", sc.name, o.execs()),
+            Err(cx) => panic!(
+                "scenario {} found a substrate bug:\n{}",
+                sc.name,
+                cx.script()
+            ),
+        }
+    }
+}
+
+#[test]
+fn every_seeded_mutation_is_caught_minimized_and_replayed() {
+    let opts = opts();
+    for m in MUTATIONS {
+        // `check_mutation` internally minimizes and re-replays the
+        // schedule; an Err is either an escaped mutation (vacuous
+        // corpus) or a schedule that failed to reproduce.
+        let cx = check_mutation(m, &opts).unwrap_or_else(|e| panic!("{e}"));
+        assert!(!cx.failure.is_empty(), "{}", m.site.name());
+        assert_eq!(cx.mutation, Some(m.site.name()));
+        println!(
+            "caught {:<28} after {:>6} exec(s), {} forced pick(s): {}",
+            m.site.name(),
+            cx.execs,
+            cx.picks.len(),
+            cx.failure
+        );
+    }
+}

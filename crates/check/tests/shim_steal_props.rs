@@ -1,0 +1,58 @@
+//! Property test for the `steal_half` batching path under the shim:
+//! across thief counts and schedule samples, every pushed task is
+//! consumed exactly once — never lost, never duplicated.
+//!
+//! The single-thief tree is small enough to enumerate outright; for 2–4
+//! thieves the tree explodes combinatorially, so proptest drives the
+//! PCT sampler with arbitrary seeds instead — each case is a fresh batch
+//! of randomized-priority schedules over the same conservation assertion
+//! (`make_steal_half` fails the execution itself on any discrepancy).
+
+use std::time::Duration;
+
+use dgr_check::atomics::{dfs_explore, make_steal_half, pct_explore, ExecCfg, Exploration};
+use proptest::prelude::*;
+
+fn cfg() -> ExecCfg {
+    ExecCfg::default()
+}
+
+#[test]
+fn steal_half_one_thief_is_exhaustively_conserved() {
+    match dfs_explore(|| make_steal_half(1), &cfg(), 100_000) {
+        Exploration::Clean { execs } => {
+            println!("1 thief: clean, {execs} execs");
+        }
+        Exploration::Truncated { execs } => panic!("1-thief tree should exhaust, hit {execs}"),
+        Exploration::Failed { outcome, .. } => {
+            panic!("task lost or duplicated: {:?}", outcome.failure)
+        }
+    }
+}
+
+proptest! {
+    // Each case runs a time-boxed batch of schedules; keep the case
+    // count low so the whole test stays a few seconds in debug.
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    #[test]
+    fn steal_half_conserves_tasks_across_thief_counts(
+        thieves in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let out = pct_explore(
+            || make_steal_half(thieves),
+            &cfg(),
+            Duration::from_millis(150),
+            seed,
+        );
+        if let Exploration::Failed { outcome, .. } = out {
+            prop_assert!(
+                false,
+                "{} thieves, seed {seed:#x}: {:?}",
+                thieves,
+                outcome.failure
+            );
+        }
+    }
+}

@@ -25,7 +25,7 @@
 //! transition to workers that observe the color lock-free, exactly like
 //! the `r_words` probe it generalizes.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use dgr_atomic::{AtomicU64Api, Atomics, Ordering, Site, StdAtomics};
 
 use crate::ids::VertexId;
 use crate::vertex::{Color, MarkParent, MarkSlot, Vertex};
@@ -108,7 +108,7 @@ pub enum Claim {
 /// use dgr_graph::{Color, MarkParent, MarkWords};
 /// use dgr_graph::markword::Claim;
 ///
-/// let words = MarkWords::new(4);
+/// let words: MarkWords = MarkWords::new(4);
 /// let epoch = 1;
 /// // First claim wins and owns the two-children expansion.
 /// assert_eq!(
@@ -121,21 +121,26 @@ pub enum Claim {
 /// assert_eq!(words.complete_child(0, epoch), Some(MarkParent::RootPar));
 /// assert_eq!(words.probe(0, epoch), Some(Color::Marked));
 /// ```
+/// The struct is generic over the [`Atomics`] facade: production code
+/// monomorphizes to [`StdAtomics`] (provably the raw `std::sync::atomic`
+/// types — see `zero_cost_facade.rs` in `dgr-check`), while the model
+/// checker instantiates it with its weak-memory shim and explores the
+/// claim/complete protocol under seeded ordering mutations.
 #[derive(Debug)]
-pub struct MarkWords {
+pub struct MarkWords<A: Atomics = StdAtomics> {
     /// Per-vertex `epoch | mt_cnt | color` state words.
-    mark_words: Vec<AtomicU64>,
+    mark_words: Vec<A::U64>,
     /// Per-vertex `epoch | mt_par` parent words.
-    par_words: Vec<AtomicU64>,
+    par_words: Vec<A::U64>,
 }
 
-impl MarkWords {
+impl<A: Atomics> MarkWords<A> {
     /// A fresh array of `capacity` never-written words (epoch half `0`,
     /// which is never a live epoch).
     pub fn new(capacity: usize) -> Self {
         MarkWords {
-            mark_words: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
-            par_words: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            mark_words: (0..capacity).map(|_| A::U64::new(0)).collect(),
+            par_words: (0..capacity).map(|_| A::U64::new(0)).collect(),
         }
     }
 
@@ -146,14 +151,14 @@ impl MarkWords {
             .iter()
             .map(|v| {
                 let s = v.slot(slot);
-                AtomicU64::new(encode_state(s.epoch, s.mt_cnt, s.color))
+                A::U64::new(encode_state(s.epoch, s.mt_cnt, s.color))
             })
             .collect();
         let par_words = verts
             .iter()
             .map(|v| {
                 let s = v.slot(slot);
-                AtomicU64::new((u64::from(s.epoch) << 32) | u64::from(encode_parent(s.mt_par)))
+                A::U64::new((u64::from(s.epoch) << 32) | u64::from(encode_parent(s.mt_par)))
             })
             .collect();
         MarkWords {
@@ -181,12 +186,15 @@ impl MarkWords {
     /// transitioning worker did first, so settling a duplicate visit on
     /// the probe alone is as sound as doing it under the vertex lock.
     pub fn probe(&self, i: usize, epoch: u32) -> Option<Color> {
+        // ordering: Acquire pairs with the claim/complete Release stores
+        // (see the method docs above).
         let w = self.mark_words[i].load(Ordering::Acquire);
         (state_epoch(w) == epoch).then(|| code_color(w))
     }
 
     /// Full current-cycle state of vertex `i`: `(color, mt_cnt)`.
     pub fn probe_state(&self, i: usize, epoch: u32) -> Option<(Color, u32)> {
+        // ordering: Acquire — same pairing as `probe`.
         let w = self.mark_words[i].load(Ordering::Acquire);
         (state_epoch(w) == epoch).then(|| (code_color(w), state_cnt(w)))
     }
@@ -206,6 +214,21 @@ impl MarkWords {
     /// *after* `try_claim` returned, and every task hand-off on the way
     /// is a release/acquire edge.
     pub fn try_claim(&self, i: usize, epoch: u32, n_children: u32, parent: MarkParent) -> Claim {
+        let par_word = (u64::from(epoch) << 32) | u64::from(encode_parent(Some(parent)));
+        // Seeded mutation `mw-parent-before-claim`: reintroduce the PR 6
+        // parent-clobber bug by publishing the parent word *before* the
+        // claim CAS decides a winner — a losing claimant then overwrites
+        // the winner's parent and the drain returns to the wrong vertex.
+        // Only the model checker's shim ever enables this branch;
+        // `StdAtomics::mutated` is a constant `false` the optimizer drops.
+        if A::mutated(Site::MwParentPublish) {
+            // ordering: Release is irrelevant here — the bug this branch
+            // seeds is the *placement* (before the CAS picks a winner),
+            // not the strength.
+            self.par_words[i].store(par_word, Ordering::Release);
+        }
+        // ordering: Acquire pairs with a rival's Release-claim — losing
+        // settles the duplicate visit on this load alone.
         let mut cur = self.mark_words[i].load(Ordering::Acquire);
         loop {
             if state_epoch(cur) == epoch && code_color(cur) != Color::Unmarked {
@@ -217,17 +240,25 @@ impl MarkWords {
                 Color::Transient
             };
             let next = encode_state(epoch, n_children, color);
+            // ordering: AcqRel on success — the Release half publishes the
+            // new color to lock-free probes; the Acquire half orders the
+            // winner's parent store after every prior transition it must
+            // not clobber. The seeded mutation `mw-claim-cas-relaxed`
+            // weakens the success ordering to Relaxed.
             match self.mark_words[i].compare_exchange_weak(
                 cur,
                 next,
-                Ordering::AcqRel,
+                A::remap(Site::MwClaimCas, Ordering::AcqRel),
                 Ordering::Acquire,
             ) {
                 Ok(_) => {
-                    self.par_words[i].store(
-                        (u64::from(epoch) << 32) | u64::from(encode_parent(Some(parent))),
-                        Ordering::Release,
-                    );
+                    if !A::mutated(Site::MwParentPublish) {
+                        // ordering: Release — the winner's parent word must
+                        // be visible to the `complete_child` that drains the
+                        // count (the hand-off chain is release/acquire all
+                        // the way, see the method docs).
+                        self.par_words[i].store(par_word, Ordering::Release);
+                    }
                     return Claim::Won(color);
                 }
                 Err(actual) => cur = actual,
@@ -246,6 +277,9 @@ impl MarkWords {
     /// that the claim itself emitted.
     pub fn complete_child(&self, i: usize, epoch: u32) -> Option<MarkParent> {
         // One child's worth in the count field (the color bits are below).
+        // ordering: AcqRel — Release orders this child's subtree effects
+        // before the decrement; Acquire makes the siblings' subtrees
+        // visible to whichever caller drains the count.
         let prev = self.mark_words[i].fetch_sub(1 << 2, Ordering::AcqRel);
         debug_assert_eq!(state_epoch(prev), epoch, "return for a stale cycle");
         debug_assert!(state_cnt(prev) > 0, "mt_cnt underflow");
@@ -254,7 +288,10 @@ impl MarkWords {
             return None;
         }
         // Count drained: this caller owns the Transient → Marked step.
+        // ordering: Release publishes Marked (and the whole subtree's
+        // effects) to lock-free probes.
         self.mark_words[i].store(encode_state(epoch, 0, Color::Marked), Ordering::Release);
+        // ordering: Acquire pairs with the winner's Release parent store.
         let par = self.par_words[i].load(Ordering::Acquire);
         debug_assert_eq!((par >> 32) as u32, epoch, "parent from a stale cycle");
         decode_parent(par as u32)
@@ -263,6 +300,8 @@ impl MarkWords {
     /// Clears vertex `i`'s words to the never-written state (a recycled
     /// slot must not inherit the previous occupant's published marks).
     pub fn clear(&self, i: usize) {
+        // ordering: Release — a recycled slot's fresh state must not be
+        // reordered behind the old occupant's published marks.
         self.mark_words[i].store(0, Ordering::Release);
         self.par_words[i].store(0, Ordering::Release);
     }
@@ -274,11 +313,14 @@ impl MarkWords {
     /// simulator-written extras like the priority survive a round-trip.
     pub fn write_back(&self, verts: &mut [Vertex], slot: Slot) {
         for (i, v) in verts.iter_mut().enumerate() {
+            // ordering: Acquire — write-back happens-after every worker's
+            // published transitions (same pairing as `probe`).
             let w = self.mark_words[i].load(Ordering::Acquire);
             let epoch = state_epoch(w);
             if epoch == 0 {
                 continue;
             }
+            // ordering: Acquire pairs with the winner's parent Release.
             let par_w = self.par_words[i].load(Ordering::Acquire);
             let mt_par = if (par_w >> 32) as u32 == epoch {
                 decode_parent(par_w as u32)
@@ -316,7 +358,7 @@ mod tests {
 
     #[test]
     fn claim_complete_lifecycle() {
-        let words = MarkWords::new(2);
+        let words: MarkWords = MarkWords::new(2);
         assert_eq!(words.probe(0, 1), None, "never written");
         assert_eq!(
             words.try_claim(0, 1, 0, MarkParent::RootPar),
@@ -339,7 +381,7 @@ mod tests {
 
     #[test]
     fn epoch_bump_resets_without_a_sweep() {
-        let words = MarkWords::new(1);
+        let words: MarkWords = MarkWords::new(1);
         assert_eq!(
             words.try_claim(0, 1, 0, MarkParent::RootPar),
             Claim::Won(Color::Marked)
@@ -361,7 +403,7 @@ mod tests {
             s.mt_cnt = 2;
             s.mt_par = Some(MarkParent::Vertex(VertexId::new(0)));
         }
-        let words = MarkWords::from_slots(&verts, Slot::R);
+        let words: MarkWords = MarkWords::from_slots(&verts, Slot::R);
         assert_eq!(words.probe_state(1, 7), Some((Color::Transient, 2)));
         assert_eq!(
             words.complete_child(1, 7),
@@ -379,7 +421,7 @@ mod tests {
 
     #[test]
     fn clear_forgets_published_marks() {
-        let words = MarkWords::new(1);
+        let words: MarkWords = MarkWords::new(1);
         words.try_claim(0, 3, 0, MarkParent::RootPar);
         words.clear(0);
         assert_eq!(words.probe(0, 3), None);
@@ -388,7 +430,7 @@ mod tests {
     #[test]
     fn concurrent_claims_have_exactly_one_winner() {
         use std::sync::atomic::{AtomicU32, Ordering as O};
-        let words = std::sync::Arc::new(MarkWords::new(64));
+        let words: std::sync::Arc<MarkWords> = std::sync::Arc::new(MarkWords::new(64));
         let wins = AtomicU32::new(0);
         std::thread::scope(|scope| {
             for _ in 0..4 {
@@ -414,7 +456,7 @@ mod tests {
         // return routing — the original multi-parent race.)
         use std::sync::atomic::{AtomicU32, Ordering as O};
         const SLOTS: usize = 256;
-        let words = std::sync::Arc::new(MarkWords::new(SLOTS));
+        let words: std::sync::Arc<MarkWords> = std::sync::Arc::new(MarkWords::new(SLOTS));
         let winners: Vec<AtomicU32> = (0..SLOTS).map(|_| AtomicU32::new(u32::MAX)).collect();
         std::thread::scope(|scope| {
             for t in 0..4u32 {

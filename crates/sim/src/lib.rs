@@ -48,6 +48,7 @@ pub mod deque;
 mod det;
 pub mod mailbox;
 mod msg;
+pub mod quiesce;
 mod shared;
 mod stats;
 pub mod steal;
@@ -55,8 +56,9 @@ mod threaded;
 
 pub use deque::{Steal, StealDeque};
 pub use det::{DetSim, SchedPolicy};
-pub use mailbox::MailboxGrid;
+pub use mailbox::{MailboxGrid, SpscRing};
 pub use msg::{Envelope, Lane};
+pub use quiesce::QuiesceState;
 pub use shared::SharedGraph;
 pub use stats::SimStats;
 pub use steal::{SpawnScope, StealRuntime, StealStats};

@@ -15,8 +15,14 @@
 //! space is how bounded mailbox meshes deadlock (A full toward B, B full
 //! toward A, both waiting); returning instead of blocking makes the mesh
 //! deadlock-free by construction, at the cost of the small stage vector.
+//!
+//! Like the deque, the ring is generic over the [`Atomics`] facade so the
+//! deterministic model checker can explore its two release/acquire edges
+//! under the weak-memory shim — including the seeded mutation at
+//! [`Site::MailboxTailPublish`], which lets a consumer observe a fresh
+//! tail whose head-of-ring cell is still stale.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use dgr_atomic::{AtomicU64Api, Atomics, Ordering, Site, StdAtomics};
 
 /// One single-producer single-consumer bounded ring of `u64` tasks.
 ///
@@ -24,43 +30,56 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// owns `head`, and each reads the other's index with Acquire to pair
 /// with its Release publication.
 #[derive(Debug)]
-struct SpscRing {
-    buf: Box<[AtomicU64]>,
+pub struct SpscRing<A: Atomics = StdAtomics> {
+    buf: Box<[A::U64]>,
     mask: u64,
     /// Next index the consumer will read (written only by the consumer).
-    head: AtomicU64,
+    head: A::U64,
     /// Next index the producer will write (written only by the producer).
-    tail: AtomicU64,
+    tail: A::U64,
 }
 
-impl SpscRing {
-    fn new(capacity: usize) -> Self {
+impl<A: Atomics> SpscRing<A> {
+    /// Builds a ring with `capacity` slots (rounded up to a power of two,
+    /// minimum 8).
+    pub fn new(capacity: usize) -> Self {
         let cap = capacity.next_power_of_two().max(8);
         SpscRing {
-            buf: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            buf: (0..cap).map(|_| A::U64::new(0)).collect(),
             mask: (cap - 1) as u64,
-            head: AtomicU64::new(0),
-            tail: AtomicU64::new(0),
+            head: A::U64::new(0),
+            tail: A::U64::new(0),
         }
     }
 
     /// Producer-only: appends a task, or returns it if the ring is full.
-    fn push(&self, task: u64) -> Result<(), u64> {
+    pub fn push(&self, task: u64) -> Result<(), u64> {
         let t = self.tail.load(Ordering::Relaxed);
+        // ordering: Acquire pairs with the consumer's Release head bump —
+        // seeing the freed slots means the consumer's cell reads are
+        // done, so overwriting them after the full-check is safe. (A
+        // stale head only under-reports room: the push conservatively
+        // returns Err and the sender stages, never a correctness issue.)
         let h = self.head.load(Ordering::Acquire);
         if t - h >= self.buf.len() as u64 {
             return Err(task);
         }
         self.buf[(t & self.mask) as usize].store(task, Ordering::Relaxed);
-        // Release publishes the cell write above to the consumer's
-        // Acquire load of `tail`.
-        self.tail.store(t + 1, Ordering::Release);
+        // ordering: Release publishes the cell write above to the
+        // consumer's Acquire load of `tail`. The seeded mutation at
+        // `Site::MailboxTailPublish` relaxes this store, letting the
+        // consumer drain a stale head-of-ring cell — `dgr-check
+        // --atomics` must catch it.
+        self.tail
+            .store(t + 1, A::remap(Site::MailboxTailPublish, Ordering::Release));
         Ok(())
     }
 
     /// Consumer-only: moves every currently-visible task into `out`.
-    fn drain(&self, out: &mut Vec<u64>) -> usize {
+    pub fn drain(&self, out: &mut Vec<u64>) -> usize {
         let h = self.head.load(Ordering::Relaxed);
+        // ordering: Acquire pairs with the producer's Release tail bump,
+        // making every cell in `h..t` visible before it is read.
         let t = self.tail.load(Ordering::Acquire);
         let mut i = h;
         while i < t {
@@ -68,17 +87,24 @@ impl SpscRing {
             i += 1;
         }
         if t != h {
-            // Release frees the slots for the producer's Acquire check.
+            // ordering: Release frees the slots for the producer's
+            // Acquire room-check — the cell reads above must not be
+            // reorderable past this store.
             self.head.store(t, Ordering::Release);
         }
         (t - h) as usize
     }
 
-    /// Tasks visible right now (racy; monitoring only).
-    fn len(&self) -> usize {
-        let t = self.tail.load(Ordering::Acquire);
-        let h = self.head.load(Ordering::Acquire);
+    /// Tasks visible right now (racy; monitoring only, hence Relaxed).
+    pub fn len(&self) -> usize {
+        let t = self.tail.load(Ordering::Relaxed);
+        let h = self.head.load(Ordering::Relaxed);
         t.saturating_sub(h) as usize
+    }
+
+    /// `true` when no task is visible (racy; monitoring only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -87,12 +113,12 @@ impl SpscRing {
 /// Indexing is `[receiver][sender]`, so one receiver's rings are adjacent
 /// and a drain sweep walks them in order.
 #[derive(Debug)]
-pub struct MailboxGrid {
-    rings: Vec<SpscRing>,
+pub struct MailboxGrid<A: Atomics = StdAtomics> {
+    rings: Vec<SpscRing<A>>,
     num_pes: usize,
 }
 
-impl MailboxGrid {
+impl<A: Atomics> MailboxGrid<A> {
     /// Builds the mesh with `capacity` slots per (sender, receiver) ring.
     pub fn new(num_pes: usize, capacity: usize) -> Self {
         MailboxGrid {
@@ -103,7 +129,7 @@ impl MailboxGrid {
         }
     }
 
-    fn ring(&self, src: usize, dst: usize) -> &SpscRing {
+    fn ring(&self, src: usize, dst: usize) -> &SpscRing<A> {
         &self.rings[dst * self.num_pes + src]
     }
 
@@ -137,7 +163,7 @@ mod tests {
 
     #[test]
     fn push_then_drain_roundtrips_in_order() {
-        let grid = MailboxGrid::new(2, 16);
+        let grid: MailboxGrid = MailboxGrid::new(2, 16);
         for v in 0..5 {
             grid.push(0, 1, v).unwrap();
         }
@@ -151,7 +177,7 @@ mod tests {
 
     #[test]
     fn full_ring_returns_the_task() {
-        let grid = MailboxGrid::new(2, 8);
+        let grid: MailboxGrid = MailboxGrid::new(2, 8);
         for v in 0..8 {
             grid.push(0, 1, v).unwrap();
         }
@@ -167,7 +193,7 @@ mod tests {
         // 3 senders × 10_000 tasks each into PE 0, concurrent with the
         // consumer draining: every task arrives exactly once.
         const PER: u64 = 10_000;
-        let grid = MailboxGrid::new(4, 64);
+        let grid: MailboxGrid = MailboxGrid::new(4, 64);
         let mut seen = vec![0u32; (3 * PER) as usize];
         std::thread::scope(|scope| {
             let mut handles = Vec::new();

@@ -1,0 +1,106 @@
+//! The quiescence core of the work-stealing runtime: a global in-flight
+//! counter plus a terminal `done` flag, extracted from `steal.rs` so the
+//! deterministic model checker can explore its memory orderings under the
+//! weak-memory shim.
+//!
+//! The protocol (see [`StealRuntime`](crate::StealRuntime) for the full
+//! termination argument): every task *visible* to other workers (deque or
+//! mailbox) is registered before it is published; a worker defers the
+//! release of every registered task it consumed until its local backlog
+//! is empty. The count reaching zero therefore proves no task exists or
+//! can appear anywhere — and, crucially, the release/acquire chain
+//! through the counter makes every worker's task effects visible to
+//! whoever observes the zero. The seeded mutation at
+//! [`Site::QuiesceRelease`] breaks exactly that chain: a premature
+//! (Relaxed) decrement whose effects quiescence no longer covers.
+
+use dgr_atomic::{AtomicBoolApi, AtomicUsizeApi, Atomics, Ordering, Site, StdAtomics};
+
+/// In-flight registered-task counter + terminal flag. Generic over the
+/// [`Atomics`] facade; production monomorphizes to [`StdAtomics`].
+#[derive(Debug)]
+pub struct QuiesceState<A: Atomics = StdAtomics> {
+    /// Registered tasks currently in flight (seeds + published spawns).
+    pending: A::Usize,
+    /// Latched once `pending` reaches zero; never cleared.
+    done: A::Bool,
+}
+
+impl<A: Atomics> QuiesceState<A> {
+    /// Starts the protocol with `initial` registered seed tasks.
+    pub fn new(initial: usize) -> Self {
+        QuiesceState {
+            pending: A::Usize::new(initial),
+            done: A::Bool::new(false),
+        }
+    }
+
+    /// Registers `n` tasks about to be published. Must happen *before*
+    /// the publish, so the count never falsely dips to zero.
+    pub fn register(&self, n: usize) {
+        // Relaxed is sound here: the add is ordered before this worker's
+        // eventual release in the counter's modification order, and the
+        // task payloads synchronize through the deque/ring Release
+        // stores, not through the counter.
+        self.pending.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Releases `n` consumed registered tasks; returns `true` if this
+    /// release drove the count to zero (the caller then owns waking the
+    /// other workers).
+    pub fn release(&self, n: usize) -> bool {
+        // ordering: AcqRel — the Release half orders this worker's task
+        // effects before the decrement; the Acquire half makes every
+        // earlier worker's effects visible to the one that reaches zero,
+        // so the `done` publication below covers all of them. The seeded
+        // mutation at `Site::QuiesceRelease` relaxes this RMW, and
+        // `dgr-check --atomics` catches the effect leak.
+        if self
+            .pending
+            .fetch_sub(n, A::remap(Site::QuiesceRelease, Ordering::AcqRel))
+            == n
+        {
+            // ordering: Release republishes the accumulated effects to
+            // every worker that exits on the Acquire load in `is_done`.
+            self.done.store(true, Ordering::Release);
+            return true;
+        }
+        false
+    }
+
+    /// `true` once the system is globally quiescent.
+    pub fn is_done(&self) -> bool {
+        // ordering: Acquire pairs with the Release in `release` — a
+        // worker exiting its loop has seen every task effect.
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Current registered in-flight count (debug assertions only).
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_to_zero_exactly_once() {
+        let q: QuiesceState = QuiesceState::new(2);
+        q.register(1);
+        assert!(!q.release(1));
+        assert!(!q.is_done());
+        assert!(!q.release(1));
+        assert!(q.release(1), "last unit flips done");
+        assert!(q.is_done());
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn batched_release_covers_multiple_units() {
+        let q: QuiesceState = QuiesceState::new(3);
+        assert!(q.release(3));
+        assert!(q.is_done());
+    }
+}

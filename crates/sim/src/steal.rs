@@ -29,7 +29,7 @@
 //!   batched to the worker's idle beats — a 1-PE pass over a million
 //!   tasks touches the counter a handful of times.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use dgr_graph::PeId;
@@ -38,6 +38,7 @@ use parking_lot::Mutex;
 
 use crate::deque::StealDeque;
 use crate::mailbox::MailboxGrid;
+use crate::quiesce::QuiesceState;
 
 /// Bits of a task word reserved for the depth/priority hint (the top
 /// bits, so depth sorts tasks without unpacking them).
@@ -114,6 +115,8 @@ struct ParkSlot {
 
 impl ParkSlot {
     fn wake(&self) {
+        // ordering: SeqCst pairs with the parker's SeqCst flag store (see
+        // the field docs) — rules out both sides missing each other.
         if self.parked.load(Ordering::SeqCst) {
             if let Some(t) = self.thread.lock().as_ref() {
                 t.unpark();
@@ -132,20 +135,19 @@ struct Mesh<'t> {
     /// every registered task it consumed until its local backlog is
     /// empty, so while unregistered work exists its worker holds at least
     /// one unit. The count reaching zero therefore proves no task exists
-    /// or can appear anywhere.
-    pending: AtomicUsize,
-    done: AtomicBool,
+    /// or can appear anywhere. The counter + terminal flag live in
+    /// [`QuiesceState`] so the model checker can explore the protocol's
+    /// orderings in isolation (see `crate::quiesce`).
+    quiesce: QuiesceState,
     parks: Vec<ParkSlot>,
     telem: &'t Registry,
 }
 
 impl Mesh<'_> {
     fn finish_check(&self, released: usize) {
-        // AcqRel as in the channel runtime: the release half orders this
-        // worker's effects before zero; the acquire half shows the
-        // observer everyone else's.
-        if self.pending.fetch_sub(released, Ordering::AcqRel) == released {
-            self.done.store(true, Ordering::Release);
+        // The AcqRel/Release discipline lives in `QuiesceState::release`;
+        // the zero-observer additionally owns waking every parked worker.
+        if self.quiesce.release(released) {
             for p in &self.parks {
                 p.wake();
             }
@@ -323,8 +325,7 @@ impl StealRuntime {
                 .map(|_| StealDeque::new(self.deque_capacity))
                 .collect(),
             grid: MailboxGrid::new(n, self.mailbox_capacity),
-            pending: AtomicUsize::new(initial.len()),
-            done: AtomicBool::new(false),
+            quiesce: QuiesceState::new(initial.len()),
             parks: (0..n).map(|_| ParkSlot::default()).collect(),
             telem,
         };
@@ -376,7 +377,7 @@ impl StealRuntime {
                 });
             }
         });
-        debug_assert_eq!(mesh.pending.load(Ordering::SeqCst), 0);
+        debug_assert_eq!(mesh.quiesce.pending(), 0);
         totals.into_inner()
     }
 }
@@ -414,17 +415,15 @@ where
             // Only spawns that become visible to other workers (deque or
             // mailbox) are registered; private-spill spawns ride on this
             // chain's own pending unit. Register before publishing so
-            // `pending` never falsely dips to zero (Relaxed: ordered
-            // before the eventual release in this atomic's modification
-            // order; task payloads synchronize through the deque/ring
-            // Release stores).
+            // the count never falsely dips to zero (the ordering
+            // rationale lives on `QuiesceState::register`).
             let registered = if w.feed_deque {
                 w.spawned.len()
             } else {
                 w.spawned.iter().filter(|(d, _)| d.index() != me).count()
             };
             if registered > 0 {
-                mesh.pending.fetch_add(registered, Ordering::Relaxed);
+                mesh.quiesce.register(registered);
             }
             let shard = mesh.telem.pe(me as u16);
             for (dst, t) in w.spawned.drain(..) {
@@ -568,7 +567,7 @@ fn run_worker<F>(
             continue;
         }
         // 5. Nothing anywhere: quiescent, or back off adaptively.
-        if mesh.done.load(Ordering::Acquire) {
+        if mesh.quiesce.is_done() {
             break;
         }
         idle_spins += 1;
@@ -580,14 +579,13 @@ fn run_worker<F>(
             // Park with the flag raised; the post-flag re-check of the
             // mailbox closes the publish/park race, and the timeout
             // bounds any residual lost wakeup (and paces stage retries).
+            // ordering: SeqCst on the flag — see the ParkSlot field docs.
             mesh.parks[me].parked.store(true, Ordering::SeqCst);
-            if mesh.grid.depth(me) == 0
-                && mesh.deques[me].is_empty()
-                && !mesh.done.load(Ordering::Acquire)
-            {
+            if mesh.grid.depth(me) == 0 && mesh.deques[me].is_empty() && !mesh.quiesce.is_done() {
                 mesh.telem.pe(me as u16).inc(CounterId::Parks);
                 std::thread::park_timeout(Duration::from_micros(100));
             }
+            // ordering: SeqCst on the flag — see the ParkSlot field docs.
             mesh.parks[me].parked.store(false, Ordering::SeqCst);
         }
     }
