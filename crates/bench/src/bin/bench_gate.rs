@@ -36,6 +36,13 @@
 //! diff entirely (a fresh file is the only input) — the CI scalability
 //! smoke job uses this mode.
 //!
+//! `--min-utilization PCT` additionally gates records that carry a
+//! `utilization_pct` field (the utilization report under a
+//! telemetry-enabled build): the best cell of each family must keep the
+//! floor. The serial cell normally clears it alone, so the floor
+//! catches a state-clock accounting collapse, not parallel efficiency
+//! on a time-sliced host.
+//!
 //! Exit code is non-zero on any regression, missing record, count
 //! mismatch, or failed speedup gate, so CI can surface it — the
 //! workflow step is marked non-blocking and the exit code shows up as
@@ -53,6 +60,9 @@ struct Record {
     pes: u64,
     messages: u64,
     wall_us: f64,
+    /// Per-PE utilization percentage, present only in records the
+    /// utilization report emits from a telemetry-enabled build.
+    utilization_pct: Option<f64>,
 }
 
 fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
@@ -88,6 +98,7 @@ fn parse(path: &str) -> Result<Vec<Record>, String> {
             pes,
             messages,
             wall_us: wall,
+            utilization_pct: field(line, "utilization_pct").and_then(|v| v.parse().ok()),
         });
     }
     if out.is_empty() {
@@ -133,13 +144,14 @@ fn speedup_curves(records: &[Record]) -> Vec<Curve> {
 }
 
 const USAGE: &str = "usage: bench_gate <baseline.json> <fresh.json> [--tolerance-pct N] \
-                     [--min-speedup X] [--speedup-family SUBSTR]\n       \
+                     [--min-speedup X] [--speedup-family SUBSTR] [--min-utilization PCT]\n       \
                      bench_gate --speedup-only <fresh.json> [--min-speedup X] \
-                     [--speedup-family SUBSTR]";
+                     [--speedup-family SUBSTR] [--min-utilization PCT]";
 
 fn main() -> ExitCode {
     let mut tolerance_pct = 50.0;
     let mut min_speedup: Option<f64> = None;
+    let mut min_utilization: Option<f64> = None;
     let mut family_filter: Option<String> = None;
     let mut speedup_only = false;
     let mut files: Vec<String> = Vec::new();
@@ -150,6 +162,7 @@ fn main() -> ExitCode {
                 tolerance_pct = it.next().and_then(|v| v.parse().ok()).unwrap_or(50.0);
             }
             "--min-speedup" => min_speedup = it.next().and_then(|v| v.parse().ok()),
+            "--min-utilization" => min_utilization = it.next().and_then(|v| v.parse().ok()),
             "--speedup-family" => family_filter = it.next(),
             "--speedup-only" => speedup_only = true,
             _ if a.starts_with("--") => {
@@ -276,6 +289,50 @@ fn main() -> ExitCode {
     } else if min_speedup.is_some() {
         eprintln!("bench gate: --min-speedup set but no multi-PE benchmark family found");
         failures += 1;
+    }
+
+    // Utilization floor: among the records that carry a per-PE
+    // utilization percentage (the utilization report under a
+    // telemetry-enabled build), the best cell of each family must keep
+    // the floor. The serial cell normally clears it by itself, so the
+    // floor rules out a state-clock accounting collapse rather than
+    // demanding parallel efficiency from a time-sliced CI host.
+    if let Some(floor) = min_utilization {
+        let with_util: Vec<&Record> = fresh
+            .iter()
+            .filter(|r| r.utilization_pct.is_some())
+            .collect();
+        if with_util.is_empty() {
+            eprintln!(
+                "bench gate: --min-utilization set but no record carries \
+                 utilization_pct (telemetry-off build?)"
+            );
+            failures += 1;
+        } else {
+            println!("\nutilization floor: best cell per family >= {floor}%");
+            println!("{:<36} {:>8} {:>8}  status", "family", "best@pe", "util %");
+            let mut families: Vec<&str> = with_util.iter().map(|r| r.family.as_str()).collect();
+            families.dedup();
+            for fam in families {
+                let best = with_util
+                    .iter()
+                    .filter(|r| r.family == fam)
+                    .max_by(|a, b| {
+                        a.utilization_pct
+                            .partial_cmp(&b.utilization_pct)
+                            .expect("utilization is finite")
+                    })
+                    .expect("family came from a non-empty record");
+                let util = best.utilization_pct.expect("filtered to Some");
+                let status = if util < floor {
+                    failures += 1;
+                    "TOO IDLE"
+                } else {
+                    "ok"
+                };
+                println!("{fam:<36} {:>8} {util:>8.1}  {status}", best.pes);
+            }
+        }
     }
 
     if failures > 0 {

@@ -1,0 +1,198 @@
+//! Experiment T9: per-PE utilization and speedup-gap attribution.
+//!
+//! Runs the work-stealing threaded runtime over the scalability
+//! workloads with the per-PE scheduler state clock recording, then
+//! feeds the emitted `sched_*` instants straight into the `dgr-trace`
+//! blame analyzer and prints, per (workload, PEs) cell, where the
+//! non-working PE-time went: steal overhead, mailbox delay, parking,
+//! true span limit, or load imbalance.
+//!
+//! The span estimate piggybacks on the BSP round counter: with `W` the
+//! serial round count (one task per round on one PE) and `R_P` the
+//! round count at `P` PEs, the workload's inherent span is approximated
+//! as `serial_wall * R_P / W` and injected into the event stream as a
+//! `bsp_span_us` instant, which `blame` uses when no flow edges exist
+//! (the steal runtime does not flow-stamp its envelopes).
+//!
+//! Every measured rep gets a **fresh registry**: the state clock
+//! accumulates across passes, and blame wants pass-exact clocks.
+//!
+//! Outputs: `BENCH_utilization.json` (under `--json`) with one record
+//! per cell carrying `utilization_pct` for `bench_gate
+//! --min-utilization`, plus `BENCH_utilization_events_<cell>.jsonl`
+//! streams that `dgr-trace blame` reads back — both in the repo root,
+//! which is gitignored. `--small` shrinks the workloads for the CI
+//! `utilization-smoke` job.
+
+use dgr_bench::{emit_json, f2, print_table, timed, JsonValue};
+use dgr_core::driver::run_mark1_bsp;
+use dgr_core::threaded::{reset_shared_r, run_mark1_shared_with, ThreadedMarkStats};
+use dgr_graph::{GraphStore, PartitionStrategy};
+use dgr_sim::SharedGraph;
+use dgr_telemetry::{events_jsonl, Phase, Registry, TELEMETRY_ENABLED};
+use dgr_trace::{attribution, blame, blame_text, parse_events};
+use dgr_workloads::graphs::{binary_tree_dfs, random_digraph};
+
+/// Repetitions per cell; the rep with the minimum wall time is kept,
+/// and its event stream (not a mixture) is what blame analyzes.
+const REPS: usize = 2;
+
+/// One measured cell: best-of-REPS wall time, run stats, and the best
+/// rep's drained event stream.
+struct Cell {
+    wall_ms: f64,
+    stats: ThreadedMarkStats,
+    events_jsonl: String,
+}
+
+/// Measures one (workload, PEs) cell with a fresh registry per rep.
+fn measure(shared: &SharedGraph, pes: u16) -> Cell {
+    let mut best: Option<Cell> = None;
+    for _ in 0..REPS {
+        reset_shared_r(shared);
+        let telem = Registry::new(pes);
+        let (stats, ms) =
+            timed(|| run_mark1_shared_with(shared, pes, PartitionStrategy::Block, &telem));
+        if best.as_ref().is_none_or(|b| ms < b.wall_ms) {
+            best = Some(Cell {
+                wall_ms: ms,
+                stats,
+                events_jsonl: events_jsonl(&telem.drain_events()),
+            });
+        }
+    }
+    best.expect("REPS >= 1")
+}
+
+fn write_file(path: &str, contents: &str) {
+    std::fs::write(path, contents).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let small = std::env::args().any(|a| a == "--small");
+    if !TELEMETRY_ENABLED {
+        println!(
+            "note: built without the `telemetry` feature — state clocks are \
+             zero-sized no-ops, so utilization and blame are unavailable; \
+             wall times and message counts are still reported"
+        );
+    }
+    let mut records = Vec::new();
+
+    // (name, vertices, store) — the scalability families, headline cells
+    // tree_d16 @ 16 PEs and digraph_1m @ 4 PEs in full mode.
+    let workloads: Vec<(&str, u64, GraphStore)> = if small {
+        vec![
+            ("tree_d14", 32767, binary_tree_dfs(14)),
+            ("digraph_200k", 200_000, random_digraph(200_000, 3.0, 17)),
+        ]
+    } else {
+        vec![
+            ("tree_d16", 131_071, binary_tree_dfs(16)),
+            ("digraph_1m", 1_000_000, random_digraph(1_000_000, 3.0, 17)),
+        ]
+    };
+    let pe_list: &[u16] = if small { &[1, 4] } else { &[1, 4, 16] };
+
+    for (name, vertices, store) in workloads {
+        // BSP round counts feed the span estimate; run_mark1_bsp resets
+        // the R slot itself, so one mutable store serves every PE count.
+        let mut bsp_store = store.clone();
+        let serial_rounds = run_mark1_bsp(&mut bsp_store, 1, PartitionStrategy::Block).rounds;
+        let shared = SharedGraph::from_store(store);
+        let mut rows = Vec::new();
+        let mut serial_wall_us = 0.0f64;
+        for &pes in pe_list {
+            let cell = measure(&shared, pes);
+            let wall_us = cell.wall_ms * 1e3;
+            if pes == 1 {
+                serial_wall_us = wall_us;
+            }
+            // Inherent-span estimate: serial wall scaled by the ideal
+            // parallel-time fraction the BSP rounds measure.
+            let mut stream = cell.events_jsonl;
+            let span_est_us = if pes > 1 && serial_rounds > 0 && TELEMETRY_ENABLED {
+                let rounds = run_mark1_bsp(&mut bsp_store, pes, PartitionStrategy::Block).rounds;
+                let est = (serial_wall_us * rounds as f64 / serial_rounds as f64) as u64;
+                // Same schema events_jsonl produces, appended by hand so
+                // the estimate travels with the stream.
+                stream.push_str(&format!(
+                    "{{\"ts_us\": 0, \"pe\": 0, \"cycle\": 0, \"phase\": \"{}\", \
+                     \"kind\": \"instant\", \"name\": \"bsp_span_us\", \"value\": {est}, \
+                     \"lamport\": 0}}\n",
+                    Phase::Mr.name()
+                ));
+                Some(est)
+            } else {
+                None
+            };
+            let cell_key = format!("{name}_p{pes}");
+            if TELEMETRY_ENABLED {
+                write_file(
+                    &format!("BENCH_utilization_events_{cell_key}.jsonl"),
+                    &stream,
+                );
+            }
+            let report = blame(&parse_events(&stream));
+            let attr = attribution(&report);
+            let util_pct = attr.work * 100.0;
+            if pes > 1 && TELEMETRY_ENABLED {
+                println!("\n-- {cell_key} --");
+                print!("{}", blame_text(&report));
+            }
+            rows.push(vec![
+                pes.to_string(),
+                cell.stats.messages.to_string(),
+                cell.stats.steals.to_string(),
+                cell.stats.parks.to_string(),
+                f2(cell.wall_ms),
+                f2(serial_wall_us / wall_us.max(1e-9)),
+                f2(util_pct),
+                span_est_us.map_or("-".to_string(), |us| us.to_string()),
+            ]);
+            let mut rec = vec![
+                ("benchmark", JsonValue::Str(format!("utilization_{name}"))),
+                ("vertices", JsonValue::Int(vertices)),
+                ("pes", JsonValue::Int(u64::from(pes))),
+                ("messages", JsonValue::Int(cell.stats.messages)),
+                ("steals", JsonValue::Int(cell.stats.steals)),
+                ("parks", JsonValue::Int(cell.stats.parks)),
+                ("wall_us", JsonValue::Float(wall_us)),
+            ];
+            if TELEMETRY_ENABLED {
+                rec.push(("utilization_pct", JsonValue::Float(util_pct)));
+                if report.pes.len() == pes as usize {
+                    // The exact-sum invariant of the state clock: every
+                    // PE's wall-clock is fully charged to some state.
+                    assert!(
+                        attr.min_accounted >= 0.95,
+                        "{cell_key}: state clock accounts for only {:.1}% of \
+                         the worst PE's wall-clock",
+                        attr.min_accounted * 100.0
+                    );
+                }
+            }
+            records.push(rec);
+        }
+        print_table(
+            &format!(
+                "T9: per-PE utilization, {name} + block partition \
+                 ({vertices} vertices, best of {REPS})"
+            ),
+            &[
+                "PEs",
+                "tasks",
+                "steals",
+                "parks",
+                "wall ms",
+                "speedup",
+                "util %",
+                "span est us",
+            ],
+            &rows,
+        );
+    }
+
+    emit_json(json, "BENCH_utilization.json", &records);
+}

@@ -78,6 +78,14 @@ pub struct ThreadedMarkStats {
     /// Cross-PE envelopes the runtime routed through the mailbox mesh
     /// (tasks whose owner PE differed from the spawning PE).
     pub envelopes: u64,
+    /// Successful steal operations across all workers.
+    pub steals: u64,
+    /// Steal attempts that found the victim empty or lost a race.
+    pub steal_fails: u64,
+    /// Times a worker parked on the idle-backoff timeout.
+    pub parks: u64,
+    /// Largest private spill depth any worker reached.
+    pub spill_hw: u64,
 }
 
 /// Runs a complete `mark1` pass over `store` using `num_pes` OS threads,
@@ -274,6 +282,10 @@ pub fn run_mark1_shared_observed(
     ThreadedMarkStats {
         messages: stats.executed,
         envelopes: stats.envelopes,
+        steals: stats.steals,
+        steal_fails: stats.steal_fails,
+        parks: stats.parks,
+        spill_hw: stats.spill_hw,
     }
 }
 

@@ -79,6 +79,24 @@ mod feature_off {
         assert!(telem.drain_events().is_empty());
         assert_eq!(telem.flows_in_flight(), 0, "flow bookkeeping is a no-op");
     }
+
+    /// The scheduler state clock is silent feature-off: transitions read
+    /// no clock, charge no bucket, and report no state — the steal
+    /// runtime's per-iteration `sched_enter` calls compile away.
+    #[test]
+    fn state_clock_records_nothing() {
+        use dgr_telemetry::SchedState;
+        let telem = Registry::new(4);
+        telem.sched_enter(0, SchedState::Work);
+        telem.sched_enter(0, SchedState::Park);
+        assert_eq!(telem.sched_current(0), None, "no state is ever in force");
+        telem.sched_finish(0);
+        assert!(telem.sched_snapshot(0).is_empty());
+        let snap = telem.snapshot();
+        assert!(snap.per_pe.is_empty(), "noop snapshot has no shards");
+        assert_eq!(snap.merged().sched().total_ns(), 0);
+        assert_eq!(snap.merged().sched().span_ns, 0);
+    }
 }
 
 #[cfg(feature = "telemetry")]
@@ -101,6 +119,25 @@ mod feature_on {
         assert_eq!(pulse.progress_total(), 10);
         assert_eq!(pulse.cycle(), 2);
         assert_eq!(pulse.phase(), None, "back to idle after end_phase");
+    }
+
+    /// The same state-clock API, feature-on: transitions charge buckets
+    /// and the per-PE clock rides the metrics snapshot.
+    #[test]
+    fn state_clock_records_time() {
+        use dgr_telemetry::SchedState;
+        let telem = Registry::new(2);
+        telem.sched_enter(1, SchedState::Work);
+        assert_eq!(telem.sched_current(1), Some(SchedState::Work));
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        telem.sched_finish(1);
+        let sched = *telem.snapshot().per_pe[1].sched();
+        assert!(sched.state_ns(SchedState::Work) >= 1_000_000);
+        assert_eq!(
+            sched.total_ns(),
+            sched.span_ns,
+            "a finished episode accounts for its whole span"
+        );
     }
 
     #[test]

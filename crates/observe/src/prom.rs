@@ -12,7 +12,7 @@
 use std::fmt::Write as _;
 
 use dgr_telemetry::metrics::{bucket_upper_edge, HistSnapshot, MetricsSnapshot, HIST_BUCKETS};
-use dgr_telemetry::{CounterId, GaugeId, HistId};
+use dgr_telemetry::{CounterId, GaugeId, HistId, SchedState};
 
 use crate::hub::ObserveHub;
 
@@ -65,7 +65,70 @@ pub fn render_snapshot(snap: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "{name}_count {}", h.count);
         render_quantiles(&mut out, &name, h);
     }
+    render_sched(&mut out, snap);
     out
+}
+
+/// Renders the scheduler-observatory families: per-(PE, state) clock
+/// nanoseconds, per-PE episode spans, utilization, and steal rate.
+fn render_sched(out: &mut String, snap: &MetricsSnapshot) {
+    family(
+        out,
+        "dgr_sched_state_ns_total",
+        "Nanoseconds the PE's scheduler spent in each state",
+        "counter",
+    );
+    for (pe, shard) in snap.per_pe.iter().enumerate() {
+        for s in SchedState::ALL {
+            let _ = writeln!(
+                out,
+                "dgr_sched_state_ns_total{{pe=\"{pe}\",state=\"{}\"}} {}",
+                s.name(),
+                shard.sched().state_ns(s)
+            );
+        }
+    }
+    family(
+        out,
+        "dgr_sched_span_ns",
+        "Wall nanoseconds of the PE's scheduler episode (first enter to last transition)",
+        "gauge",
+    );
+    for (pe, shard) in snap.per_pe.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "dgr_sched_span_ns{{pe=\"{pe}\"}} {}",
+            shard.sched().span_ns
+        );
+    }
+    family(
+        out,
+        "dgr_pe_utilization",
+        "Fraction of the PE's accounted scheduler time spent executing tasks",
+        "gauge",
+    );
+    for (pe, shard) in snap.per_pe.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "dgr_pe_utilization{{pe=\"{pe}\"}} {:.6}",
+            shard.sched().utilization()
+        );
+    }
+    family(
+        out,
+        "dgr_steal_rate",
+        "Successful steals per second of the PE's scheduler episode",
+        "gauge",
+    );
+    for (pe, shard) in snap.per_pe.iter().enumerate() {
+        let span_s = shard.sched().span_ns as f64 / 1e9;
+        let rate = if span_s > 0.0 {
+            shard.counter(CounterId::Steals) as f64 / span_s
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "dgr_steal_rate{{pe=\"{pe}\"}} {rate:.3}");
+    }
 }
 
 fn render_quantiles(out: &mut String, name: &str, h: &HistSnapshot) {
@@ -230,6 +293,9 @@ fn counter_help(id: CounterId) -> &'static str {
         CounterId::Relaned => "Pending tasks moved to a different priority lane",
         CounterId::Steals => "Successful steal operations by the work-stealing runtime",
         CounterId::StealFails => "Steal attempts that found the victim empty or lost the race",
+        CounterId::StolenFrom => "Successful steal operations with this PE as the victim",
+        CounterId::StolenTasks => "Tasks taken from this PE's deque by thieves",
+        CounterId::StealMisses => "Failed steal attempts against this PE as the victim",
     }
 }
 
@@ -239,6 +305,7 @@ fn gauge_help(id: GaugeId) -> &'static str {
         GaugeId::MailboxHighWater => "Largest mailbox depth observed on the PE",
         GaugeId::DequeDepth => "Tasks in the PE's work-stealing deque right now",
         GaugeId::DequeHighWater => "Largest deque depth observed on the PE",
+        GaugeId::SpillHighWater => "Largest private spill-stack depth observed on the PE",
     }
 }
 
@@ -246,6 +313,9 @@ fn hist_help(id: HistId) -> &'static str {
     match id {
         HistId::BatchSize => "Messages per cross-PE batch (merged over PEs)",
         HistId::CycleUs => "Wall microseconds per completed marking cycle (merged over PEs)",
+        HistId::StealBatch => "Tasks transferred per successful steal_half (merged over PEs)",
+        HistId::DequeDepthPeak => "Per-pass deque-depth high-water per worker (merged over PEs)",
+        HistId::ParkWakeUs => "Microseconds from a timed park to waking (merged over PEs)",
     }
 }
 
@@ -271,6 +341,33 @@ mod tests {
         assert!(text.contains("dgr_batch_size_count 4"));
         assert!(text.contains("dgr_batch_size_sum 307"));
         assert!(text.contains("dgr_batch_size_quantile{q=\"0.5\"}"));
+    }
+
+    #[test]
+    fn sched_families_report_clock_and_rates() {
+        let reg = Registry::new(2);
+        reg.sched_enter(1, SchedState::Work);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        reg.sched_finish(1);
+        reg.pe(1).inc(CounterId::Steals);
+        let text = render_snapshot(&reg.snapshot());
+        let work_ns: u64 = text
+            .lines()
+            .find(|l| l.starts_with("dgr_sched_state_ns_total{pe=\"1\",state=\"work\"}"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .expect("work state sample present");
+        assert!(work_ns >= 2_000_000, "got {work_ns}");
+        assert!(text.contains("dgr_pe_utilization{pe=\"1\"} 1.000000"));
+        assert!(text.contains("dgr_pe_utilization{pe=\"0\"} 0.000000"));
+        assert!(text.contains("dgr_steal_rate{pe=\"0\"} 0.000"));
+        let rate: f64 = text
+            .lines()
+            .find(|l| l.starts_with("dgr_steal_rate{pe=\"1\"}"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .expect("steal rate sample present");
+        assert!(rate > 0.0, "one steal over a positive span");
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //!
 //! * `GET /metrics` — Prometheus text exposition ([`crate::prom`]).
 //! * `GET /status` — JSON: uptime, health, GC progress, census,
-//!   heartbeat, per-PE mailbox depth and high-water.
+//!   heartbeat, per-PE mailbox depth/high-water, and the per-PE
+//!   scheduler breakdown (state, utilization, steal traffic).
 //! * `GET /healthz` — `200 ok` in steady state, `503` with the
 //!   watchdog's reason once degraded.
 //! * `GET /graph.dot` — the latest published bounded DOT snapshot.
@@ -20,7 +21,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use dgr_telemetry::{json_escape, GaugeId};
+use dgr_telemetry::{json_escape, CounterId, GaugeId, SchedState};
 
 use crate::hub::{Health, ObserveHub};
 use crate::prom;
@@ -119,6 +120,27 @@ pub fn status_json(hub: &ObserveHub) -> String {
             "    {{\"pe\": {pe}, \"depth\": {}, \"high_water\": {}}}{}",
             shard.gauge(GaugeId::MailboxDepth),
             shard.gauge(GaugeId::MailboxHighWater),
+            if pe + 1 < n { "," } else { "" },
+        );
+    }
+    out.push_str("  ],\n");
+    // The scheduler observatory's per-PE breakdown: last-known state,
+    // utilization against the state clock, and steal traffic.
+    out.push_str("  \"scheduler\": [\n");
+    for (pe, shard) in snap.per_pe.iter().enumerate() {
+        let sched = shard.sched();
+        let _ = writeln!(
+            out,
+            "    {{\"pe\": {pe}, \"state\": \"{}\", \"utilization\": {:.6}, \
+             \"span_ns\": {}, \"work_ns\": {}, \"steals\": {}, \"stolen_from\": {}, \
+             \"parks\": {}}}{}",
+            sched.current.map(|s| s.name()).unwrap_or("idle"),
+            sched.utilization(),
+            sched.span_ns,
+            sched.state_ns(SchedState::Work),
+            shard.counter(CounterId::Steals),
+            shard.counter(CounterId::StolenFrom),
+            shard.counter(CounterId::Parks),
             if pe + 1 < n { "," } else { "" },
         );
     }
@@ -289,6 +311,25 @@ mod tests {
         assert!(http.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(http.contains("Content-Length: 9\r\n"));
         assert!(http.ends_with("\r\n\r\ndegraded\n"));
+    }
+
+    #[test]
+    fn status_json_breaks_the_scheduler_down_per_pe() {
+        use dgr_telemetry::active::Registry;
+        let hub = ObserveHub::new();
+        let reg = Registry::new(2);
+        reg.sched_enter(0, SchedState::Work);
+        std::thread::sleep(Duration::from_millis(1));
+        reg.sched_finish(0);
+        reg.sched_enter(1, SchedState::Park);
+        reg.pe(1).inc(CounterId::Steals);
+        hub.publish_metrics(reg.snapshot());
+        let s = status_json(&hub);
+        assert!(s.contains("\"scheduler\": ["), "got: {s}");
+        assert!(s.contains("{\"pe\": 0, \"state\": \"idle\""));
+        assert!(s.contains("{\"pe\": 1, \"state\": \"park\""));
+        assert!(s.contains("\"steals\": 1"));
+        assert!(s.contains("\"utilization\": 1.000000"));
     }
 
     #[test]

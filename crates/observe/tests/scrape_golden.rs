@@ -15,11 +15,11 @@
 
 use dgr_observe::{render, CensusSnapshot, GcProgress, ObserveHub};
 use dgr_telemetry::active::Registry;
-use dgr_telemetry::{CounterId, GaugeId, HistId, Phase};
+use dgr_telemetry::{CounterId, GaugeId, HistId, Phase, SchedState};
 
 /// A hub with every section populated: a 2-PE snapshot with counter,
-/// gauge and histogram traffic, a census, GC progress, and a heartbeat
-/// mid-phase.
+/// gauge and histogram traffic, scheduler state clocks and steal-victim
+/// counters, a census, GC progress, and a heartbeat mid-phase.
 fn populated_hub() -> ObserveHub {
     let reg = Registry::new(2);
     reg.pe(0).inc(CounterId::Tasks);
@@ -31,6 +31,19 @@ fn populated_hub() -> ObserveHub {
         reg.pe(0).observe(HistId::BatchSize, v);
         reg.pe(1).observe(HistId::CycleUs, v * 10);
     }
+    // Steal outcomes bucketed by victim, plus the observatory histograms.
+    reg.pe(0).add(CounterId::Steals, 5);
+    reg.pe(1).inc(CounterId::StolenFrom);
+    reg.pe(1).add(CounterId::StolenTasks, 9);
+    reg.pe(1).add(CounterId::StealMisses, 2);
+    reg.pe(0).gauge_set(GaugeId::SpillHighWater, 7);
+    reg.pe(0).observe(HistId::StealBatch, 9);
+    reg.pe(0).observe(HistId::DequeDepthPeak, 33);
+    reg.pe(0).observe(HistId::ParkWakeUs, 120);
+    // A finished all-Work episode on PE 0: utilization renders 1.000000.
+    reg.sched_enter(0, SchedState::Work);
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    reg.sched_finish(0);
     let hub = ObserveHub::new();
     hub.publish_metrics(reg.snapshot());
     hub.publish_census(CensusSnapshot {
@@ -154,10 +167,21 @@ fn families_follow_the_fixed_enum_order() {
     let landmarks = [
         "# TYPE dgr_tasks_total counter",
         "# TYPE dgr_relaned_total counter",
+        "# TYPE dgr_stolen_from_total counter",
+        "# TYPE dgr_stolen_tasks_total counter",
+        "# TYPE dgr_steal_misses_total counter",
         "# TYPE dgr_mailbox_depth gauge",
+        "# TYPE dgr_spill_high_water gauge",
         "# TYPE dgr_batch_size histogram",
         "# TYPE dgr_batch_size_quantile gauge",
         "# TYPE dgr_cycle_us histogram",
+        "# TYPE dgr_steal_batch histogram",
+        "# TYPE dgr_deque_depth_peak histogram",
+        "# TYPE dgr_park_wake_us histogram",
+        "# TYPE dgr_sched_state_ns_total counter",
+        "# TYPE dgr_sched_span_ns gauge",
+        "# TYPE dgr_pe_utilization gauge",
+        "# TYPE dgr_steal_rate gauge",
         "# TYPE dgr_task_census gauge",
         "# TYPE dgr_gc_cycles_total counter",
         "# TYPE dgr_heartbeat_cycle gauge",
@@ -194,6 +218,24 @@ fn samples_carry_the_published_values() {
             "missing cycle_us quantile {q}"
         );
     }
+    assert!(text.contains("dgr_steals_total{pe=\"0\"} 5\n"));
+    assert!(text.contains("dgr_stolen_from_total{pe=\"1\"} 1\n"));
+    assert!(text.contains("dgr_stolen_tasks_total{pe=\"1\"} 9\n"));
+    assert!(text.contains("dgr_steal_misses_total{pe=\"1\"} 2\n"));
+    assert!(text.contains("dgr_spill_high_water{pe=\"0\"} 7\n"));
+    assert!(text.contains("dgr_steal_batch_count 1\n"));
+    assert!(text.contains("dgr_steal_batch_sum 9\n"));
+    assert!(text.contains("dgr_deque_depth_peak_sum 33\n"));
+    assert!(text.contains("dgr_park_wake_us_sum 120\n"));
+    // PE 0 ran a finished, all-Work scheduler episode; PE 1 never
+    // entered the scheduler and reports a zeroed clock.
+    assert!(text.contains("dgr_sched_state_ns_total{pe=\"0\",state=\"work\"}"));
+    assert!(text.contains("dgr_sched_state_ns_total{pe=\"1\",state=\"work\"} 0\n"));
+    assert!(text.contains("dgr_sched_span_ns{pe=\"0\"}"));
+    assert!(text.contains("dgr_sched_span_ns{pe=\"1\"} 0\n"));
+    assert!(text.contains("dgr_pe_utilization{pe=\"0\"} 1.000000\n"));
+    assert!(text.contains("dgr_pe_utilization{pe=\"1\"} 0.000000\n"));
+    assert!(text.contains("dgr_steal_rate{pe=\"1\"} 0.000\n"));
     assert!(text.contains("dgr_task_census{class=\"vital\"} 4\n"));
     assert!(text.contains("dgr_gc_cycles_total 12\n"));
     assert!(text.contains("dgr_gc_reclaimed_total 340\n"));

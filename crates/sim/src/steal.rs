@@ -30,10 +30,10 @@
 //!   tasks touches the counter a handful of times.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dgr_graph::PeId;
-use dgr_telemetry::{CounterId, GaugeId, HeartbeatHandle, HistId, Registry};
+use dgr_telemetry::{CounterId, GaugeId, HeartbeatHandle, HistId, Phase, Registry, SchedState};
 use parking_lot::Mutex;
 
 use crate::deque::StealDeque;
@@ -70,6 +70,11 @@ pub struct StealStats {
     pub steals: u64,
     /// Steal attempts that found the victim empty or lost a race.
     pub steal_fails: u64,
+    /// Times a worker found nothing anywhere and parked on the timeout.
+    pub parks: u64,
+    /// Largest private spill depth (`spill` + `spill_reg`) any worker
+    /// reached — how far local work outran the stealable window.
+    pub spill_hw: u64,
 }
 
 /// Handle a task handler uses to spawn follow-up tasks.
@@ -198,7 +203,17 @@ struct Worker {
     envelopes: u64,
     steals: u64,
     steal_fails: u64,
+    parks: u64,
     deque_high: u64,
+    spill_hw: u64,
+}
+
+impl Worker {
+    /// Tracks the private spill's high-water (both tiers together).
+    fn note_spill_depth(&mut self) {
+        let depth = (self.spill.len() + self.spill_reg.len()) as u64;
+        self.spill_hw = self.spill_hw.max(depth);
+    }
 }
 
 impl Worker {
@@ -302,10 +317,15 @@ impl StealRuntime {
     }
 
     /// [`StealRuntime::run`] with telemetry and a liveness pulse: per PE
-    /// the registry records executed tasks, steals and failed steals,
-    /// drained batches and their sizes, mailbox and deque depth gauges,
-    /// and park events; `hb` beats once per local drain run. In a default
-    /// (no-`telemetry`) build both are zero-sized no-ops.
+    /// the registry records executed tasks, steals and failed steals
+    /// (plus the victim-bucketed `stolen_from` / `stolen_tasks` /
+    /// `steal_misses` counters), drained batches and their sizes, steal
+    /// batch sizes, mailbox/deque/spill depth gauges, park events with
+    /// wake latency, and a full [`SchedState`] state clock — every loop
+    /// transition charges wall-clock to exactly one state, emitted as
+    /// `sched_*` instants when the pass ends; `hb` beats once per local
+    /// drain run. In a default (no-`telemetry`) build both are zero-sized
+    /// no-ops.
     pub fn run_observed<F>(
         &self,
         initial: Vec<(PeId, u64)>,
@@ -361,23 +381,44 @@ impl StealRuntime {
                         envelopes: 0,
                         steals: 0,
                         steal_fails: 0,
+                        parks: 0,
                         deque_high: 0,
+                        spill_hw: 0,
                     };
+                    w.note_spill_depth(); // overflowed seeds count too
                     *mesh.parks[me].thread.lock() = Some(std::thread::current());
                     run_worker(&mut w, mesh, handler, hb, multicore);
+                    mesh.telem.sched_finish(me as u16);
                     let shard = mesh.telem.pe(me as u16);
                     shard.add(CounterId::Steals, w.steals);
                     shard.add(CounterId::StealFails, w.steal_fails);
                     shard.gauge_max(GaugeId::DequeHighWater, w.deque_high as i64);
+                    shard.gauge_max(GaugeId::SpillHighWater, w.spill_hw as i64);
+                    shard.observe(HistId::DequeDepthPeak, w.deque_high);
                     let mut t = totals.lock();
                     t.executed += w.executed;
                     t.envelopes += w.envelopes;
                     t.steals += w.steals;
                     t.steal_fails += w.steal_fails;
+                    t.parks += w.parks;
+                    t.spill_hw = t.spill_hw.max(w.spill_hw);
                 });
             }
         });
         debug_assert_eq!(mesh.quiesce.pending(), 0);
+        // One instant per (PE, state) with the clock's nanosecond totals,
+        // plus the episode span — the events `dgr-trace blame` reads. The
+        // clock accumulates across passes on a shared registry, so a
+        // pass-exact blame report wants a fresh registry per pass.
+        if telem.enabled() {
+            for pe in 0..n as u16 {
+                let sched = telem.sched_snapshot(pe);
+                for s in SchedState::ALL {
+                    telem.instant(pe, 0, Phase::Mr, s.event_name(), sched.state_ns(s));
+                }
+                telem.instant(pe, 0, Phase::Mr, "sched_span", sched.span_ns);
+            }
+        }
         totals.into_inner()
     }
 }
@@ -447,6 +488,7 @@ where
                     }
                 }
             }
+            w.note_spill_depth();
             if mesh.telem.enabled() {
                 let depth = mesh.deques[me].len() as u64;
                 w.deque_high = w.deque_high.max(depth);
@@ -492,6 +534,7 @@ fn absorb_batch(w: &mut Worker, mesh: &Mesh<'_>) {
         }
     }
     w.batch.clear();
+    w.note_spill_depth();
 }
 
 fn run_worker<F>(
@@ -520,6 +563,9 @@ fn run_worker<F>(
             },
         };
         if let Some(task) = local {
+            // Re-entering `Work` from `Work` is a single relaxed load, so
+            // a long run of local chains pays one clock read total.
+            mesh.telem.sched_enter(me as u16, SchedState::Work);
             let ran = run_chain(w, mesh, handler, task);
             if registered {
                 w.held_releases += 1;
@@ -535,6 +581,7 @@ fn run_worker<F>(
         }
         // Out of local work: flush the deferred releases — only now can
         // the global count legitimately reach zero on our account.
+        mesh.telem.sched_enter(me as u16, SchedState::MailboxDrain);
         if w.held_releases > 0 {
             mesh.finish_check(w.held_releases);
             w.held_releases = 0;
@@ -551,16 +598,28 @@ fn run_worker<F>(
             idle_spins = 0;
             continue;
         }
-        // 4. Steal half of a random victim's deque.
+        // 4. Steal half of a random victim's deque. Steal outcomes are
+        // bucketed by victim: the thief bumps the *victim's* shard
+        // (relaxed counters make the cross-PE increment safe), so the
+        // exporter answers "who is everyone stealing from" per PE.
         if n > 1 {
+            mesh.telem.sched_enter(me as u16, SchedState::StealSearch);
             let victim = w.next_victim(n);
-            if mesh.deques[victim].steal_half(&mut w.batch) > 0 {
+            let got = mesh.deques[victim].steal_half(&mut w.batch);
+            if got > 0 {
                 w.steals += 1;
+                let vshard = mesh.telem.pe(victim as u16);
+                vshard.inc(CounterId::StolenFrom);
+                vshard.add(CounterId::StolenTasks, got as u64);
+                mesh.telem
+                    .pe(me as u16)
+                    .observe(HistId::StealBatch, got as u64);
                 absorb_batch(w, mesh);
                 idle_spins = 0;
                 continue;
             }
             w.steal_fails += 1;
+            mesh.telem.pe(victim as u16).inc(CounterId::StealMisses);
         }
         if progressed {
             idle_spins = 0;
@@ -568,22 +627,38 @@ fn run_worker<F>(
         }
         // 5. Nothing anywhere: quiescent, or back off adaptively.
         if mesh.quiesce.is_done() {
+            mesh.telem.sched_enter(me as u16, SchedState::Quiesce);
             break;
         }
         idle_spins += 1;
         if multicore && idle_spins < 64 {
+            mesh.telem.sched_enter(me as u16, SchedState::Spin);
             std::hint::spin_loop();
         } else if idle_spins < 96 {
+            mesh.telem.sched_enter(me as u16, SchedState::Yield);
             std::thread::yield_now();
         } else {
             // Park with the flag raised; the post-flag re-check of the
             // mailbox closes the publish/park race, and the timeout
             // bounds any residual lost wakeup (and paces stage retries).
             // ordering: SeqCst on the flag — see the ParkSlot field docs.
+            mesh.telem.sched_enter(me as u16, SchedState::Park);
             mesh.parks[me].parked.store(true, Ordering::SeqCst);
             if mesh.grid.depth(me) == 0 && mesh.deques[me].is_empty() && !mesh.quiesce.is_done() {
                 mesh.telem.pe(me as u16).inc(CounterId::Parks);
-                std::thread::park_timeout(Duration::from_micros(100));
+                w.parks += 1;
+                if mesh.telem.enabled() {
+                    // The wake-latency clock read only exists in
+                    // telemetry builds — the default park path stays
+                    // syscall-only.
+                    let t = Instant::now();
+                    std::thread::park_timeout(Duration::from_micros(100));
+                    mesh.telem
+                        .pe(me as u16)
+                        .observe(HistId::ParkWakeUs, t.elapsed().as_micros() as u64);
+                } else {
+                    std::thread::park_timeout(Duration::from_micros(100));
+                }
             }
             // ordering: SeqCst on the flag — see the ParkSlot field docs.
             mesh.parks[me].parked.store(false, Ordering::SeqCst);

@@ -19,6 +19,7 @@ use crate::heartbeat::Heartbeat;
 use crate::ids::{CounterId, GaugeId, HistId, Phase};
 use crate::metrics::{Counter, Gauge, HistSnapshot, Histogram, MetricsSnapshot, PeSnapshot};
 use crate::ring::{Event, EventKind, EventRing};
+use crate::sched::{PeSchedSnapshot, SchedState, StateClock};
 
 /// Default per-PE event-ring capacity.
 pub const DEFAULT_RING_CAPACITY: usize = 8192;
@@ -171,6 +172,8 @@ impl PeShard {
 #[derive(Debug)]
 pub struct Registry {
     shards: Box<[PeShard]>,
+    /// Per-PE scheduler state clocks (one slot per shard).
+    sched: StateClock,
     t0: Instant,
     /// Flow ids handed out by [`Registry::flow_send_tag`]; starts at 1 so
     /// 0 stays the [`FlowTag::NONE`] sentinel.
@@ -192,6 +195,7 @@ impl Registry {
         let n = (num_pes as usize).max(1);
         Registry {
             shards: (0..n).map(|_| PeShard::new(ring_capacity)).collect(),
+            sched: StateClock::new(n),
             t0: Instant::now(),
             next_flow: AtomicU64::new(1),
             flows: Mutex::new(HashMap::new()),
@@ -216,6 +220,30 @@ impl Registry {
     /// Microseconds since the registry was created.
     pub fn now_us(&self) -> u64 {
         self.t0.elapsed().as_micros() as u64
+    }
+
+    /// Transitions PE `pe`'s scheduler state clock into `state`. Entering
+    /// the state already in force is free; see
+    /// [`StateClock::enter`](crate::sched::StateClock::enter).
+    pub fn sched_enter(&self, pe: u16, state: SchedState) {
+        self.sched.enter(pe, state);
+    }
+
+    /// Closes PE `pe`'s state-clock episode, charging the in-force state
+    /// up to now.
+    pub fn sched_finish(&self, pe: u16) {
+        self.sched.finish(pe);
+    }
+
+    /// The scheduler state currently in force on PE `pe`, if any.
+    pub fn sched_current(&self, pe: u16) -> Option<SchedState> {
+        self.sched.current(pe)
+    }
+
+    /// One PE's state-clock snapshot (also embedded per PE in
+    /// [`Registry::snapshot`]).
+    pub fn sched_snapshot(&self, pe: u16) -> PeSchedSnapshot {
+        self.sched.snapshot_pe(pe)
     }
 
     fn event(
@@ -345,10 +373,20 @@ impl Registry {
             .len()
     }
 
-    /// Copies every shard's metrics out.
+    /// Copies every shard's metrics out, each with its PE's scheduler
+    /// state clock attached.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            per_pe: self.shards.iter().map(|s| s.snapshot()).collect(),
+            per_pe: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let mut snap = s.snapshot();
+                    snap.set_sched(self.sched.snapshot_pe(i as u16));
+                    snap
+                })
+                .collect(),
         }
     }
 
@@ -486,6 +524,27 @@ mod tests {
         let recv = evs.iter().rfind(|e| e.kind == EventKind::FlowRecv).unwrap();
         assert_eq!(recv.pe, 1);
         assert_eq!(recv.lamport, 20, "max(0, 19) + 1");
+    }
+
+    #[test]
+    fn sched_clocks_ride_the_snapshot() {
+        let r = Registry::new(2);
+        r.sched_enter(1, SchedState::Work);
+        assert_eq!(r.sched_current(1), Some(SchedState::Work));
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        r.sched_enter(1, SchedState::Quiesce);
+        r.sched_finish(1);
+        assert_eq!(r.sched_current(1), None);
+        let snap = r.snapshot();
+        let sched = snap.per_pe[1].sched();
+        assert!(sched.state_ns(SchedState::Work) >= 1_000_000);
+        assert_eq!(sched.total_ns(), sched.span_ns);
+        assert!(snap.per_pe[0].sched().is_empty(), "PE 0 never entered");
+        // The merged view adds state times across PEs.
+        assert_eq!(
+            snap.merged().sched().state_ns(SchedState::Work),
+            sched.state_ns(SchedState::Work)
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::path::PathBuf;
 use crate::ids::CounterId;
 use crate::metrics::MetricsSnapshot;
 use crate::ring::Event;
+use crate::sched::SchedState;
 use crate::trace::{events_jsonl, json_escape};
 
 /// Environment variable naming the directory flight dumps land in
@@ -51,6 +52,31 @@ pub fn flight_json(
         out.push_str(&format!(
             "    {{\"pe\": {}, {}}}{}\n",
             i,
+            fields.join(", "),
+            if i + 1 < snapshot.per_pe.len() {
+                ","
+            } else {
+                ""
+            },
+        ));
+    }
+    out.push_str("  ],\n");
+
+    // What each PE's scheduler was doing when the dump fired, with its
+    // state clock — the first thing to read on a stall incident.
+    out.push_str("  \"sched\": [\n");
+    for (i, shard) in snapshot.per_pe.iter().enumerate() {
+        let sched = shard.sched();
+        let state = sched.current.map(|s| s.name()).unwrap_or("idle");
+        let fields: Vec<String> = SchedState::ALL
+            .iter()
+            .map(|&s| format!("\"{}_ns\": {}", s.name(), sched.state_ns(s)))
+            .collect();
+        out.push_str(&format!(
+            "    {{\"pe\": {}, \"state\": \"{}\", \"span_ns\": {}, {}}}{}\n",
+            i,
+            state,
+            sched.span_ns,
             fields.join(", "),
             if i + 1 < snapshot.per_pe.len() {
                 ","
@@ -173,6 +199,26 @@ mod tests {
         // Every PE shard got a counters row.
         assert!(s.contains("{\"pe\": 0, "));
         assert!(s.contains("{\"pe\": 1, "));
+    }
+
+    #[test]
+    fn flight_json_reports_last_known_scheduler_states() {
+        let mut shard = crate::metrics::PeSnapshot::default();
+        let mut sched = crate::sched::PeSchedSnapshot::default();
+        sched.ns[SchedState::Park.index()] = 500;
+        sched.current = Some(SchedState::Park);
+        sched.span_ns = 500;
+        shard.set_sched(sched);
+        let snap = MetricsSnapshot {
+            per_pe: vec![Default::default(), shard],
+        };
+        let s = flight_json("stall", 0, &[], 0, &snap, &[]);
+        // PE 1 was parked when the dump fired; PE 0 never recorded.
+        assert!(s.contains("\"state\": \"park\""), "got: {s}");
+        assert!(s.contains("\"state\": \"idle\""));
+        assert!(s.contains("\"park_ns\": 500"));
+        assert!(s.contains("\"span_ns\": 500"));
+        assert!(s.contains("\"work_ns\": 0"));
     }
 
     /// One test covers both the default path and the env override so

@@ -68,11 +68,20 @@ pub enum CounterId {
     Steals,
     /// Steal attempts that found the victim empty or lost the race.
     StealFails,
+    /// Successful steal operations with **this PE as the victim** (the
+    /// thief bumps the victim's shard — the per-victim steal outcome
+    /// bucket).
+    StolenFrom,
+    /// Tasks taken from this PE's deque by thieves.
+    StolenTasks,
+    /// Failed steal attempts against this PE as the victim (empty deque
+    /// or lost race).
+    StealMisses,
 }
 
 impl CounterId {
     /// Number of counters.
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 16;
 
     /// Every counter, in `index` order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -89,6 +98,9 @@ impl CounterId {
         CounterId::Relaned,
         CounterId::Steals,
         CounterId::StealFails,
+        CounterId::StolenFrom,
+        CounterId::StolenTasks,
+        CounterId::StealMisses,
     ];
 
     /// Dense index into shard/snapshot arrays.
@@ -112,6 +124,9 @@ impl CounterId {
             CounterId::Relaned => "relaned",
             CounterId::Steals => "steals",
             CounterId::StealFails => "steal_fails",
+            CounterId::StolenFrom => "stolen_from",
+            CounterId::StolenTasks => "stolen_tasks",
+            CounterId::StealMisses => "steal_misses",
         }
     }
 }
@@ -127,11 +142,14 @@ pub enum GaugeId {
     DequeDepth,
     /// Largest deque depth observed (set with `gauge_max`).
     DequeHighWater,
+    /// Largest private spill-stack depth observed by a work-stealing
+    /// worker (set with `gauge_max`).
+    SpillHighWater,
 }
 
 impl GaugeId {
     /// Number of gauges.
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
 
     /// Every gauge, in `index` order.
     pub const ALL: [GaugeId; GaugeId::COUNT] = [
@@ -139,6 +157,7 @@ impl GaugeId {
         GaugeId::MailboxHighWater,
         GaugeId::DequeDepth,
         GaugeId::DequeHighWater,
+        GaugeId::SpillHighWater,
     ];
 
     /// Dense index into shard/snapshot arrays.
@@ -153,6 +172,7 @@ impl GaugeId {
             GaugeId::MailboxHighWater => "mailbox_high_water",
             GaugeId::DequeDepth => "deque_depth",
             GaugeId::DequeHighWater => "deque_high_water",
+            GaugeId::SpillHighWater => "spill_high_water",
         }
     }
 }
@@ -164,14 +184,27 @@ pub enum HistId {
     BatchSize,
     /// Wall microseconds per completed marking cycle.
     CycleUs,
+    /// Tasks transferred per successful `steal_half`.
+    StealBatch,
+    /// Per-pass deque-depth high-water, one observation per worker per
+    /// pass (the distribution of peak backlogs across PEs).
+    DequeDepthPeak,
+    /// Microseconds from a timed park to waking (timeout or unpark).
+    ParkWakeUs,
 }
 
 impl HistId {
     /// Number of histograms.
-    pub const COUNT: usize = 2;
+    pub const COUNT: usize = 5;
 
     /// Every histogram, in `index` order.
-    pub const ALL: [HistId; HistId::COUNT] = [HistId::BatchSize, HistId::CycleUs];
+    pub const ALL: [HistId; HistId::COUNT] = [
+        HistId::BatchSize,
+        HistId::CycleUs,
+        HistId::StealBatch,
+        HistId::DequeDepthPeak,
+        HistId::ParkWakeUs,
+    ];
 
     /// Dense index into shard/snapshot arrays.
     pub fn index(self) -> usize {
@@ -183,6 +216,9 @@ impl HistId {
         match self {
             HistId::BatchSize => "batch_size",
             HistId::CycleUs => "cycle_us",
+            HistId::StealBatch => "steal_batch",
+            HistId::DequeDepthPeak => "deque_depth_peak",
+            HistId::ParkWakeUs => "park_wake_us",
         }
     }
 }

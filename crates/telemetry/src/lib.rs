@@ -38,6 +38,7 @@ pub mod ids;
 pub mod metrics;
 pub mod noop;
 pub mod ring;
+pub mod sched;
 pub mod trace;
 
 pub use cycle::{timeline_json, timeline_text, CycleReport};
@@ -49,6 +50,7 @@ pub use metrics::{
     MetricsSnapshot, PeSnapshot, HIST_BUCKETS,
 };
 pub use ring::{Event, EventKind};
+pub use sched::{PeSchedSnapshot, SchedState, StateClock};
 pub use trace::{chrome_trace_json, events_jsonl, json_escape};
 
 #[cfg(feature = "telemetry")]

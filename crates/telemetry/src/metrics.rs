@@ -13,6 +13,7 @@
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 use crate::ids::{CounterId, GaugeId, HistId};
+use crate::sched::PeSchedSnapshot;
 
 /// A monotone event counter.
 #[derive(Debug, Default)]
@@ -255,6 +256,7 @@ pub struct PeSnapshot {
     counters: [u64; CounterId::COUNT],
     gauges: [i64; GaugeId::COUNT],
     hists: [HistSnapshot; HistId::COUNT],
+    sched: PeSchedSnapshot,
 }
 
 impl Default for PeSnapshot {
@@ -263,6 +265,7 @@ impl Default for PeSnapshot {
             counters: [0; CounterId::COUNT],
             gauges: [0; GaugeId::COUNT],
             hists: [HistSnapshot::default(); HistId::COUNT],
+            sched: PeSchedSnapshot::default(),
         }
     }
 }
@@ -278,7 +281,21 @@ impl PeSnapshot {
             counters,
             gauges,
             hists,
+            sched: PeSchedSnapshot::default(),
         }
+    }
+
+    /// Attaches a scheduler state-clock snapshot (used by the active
+    /// registry; defaults to empty so existing constructors are
+    /// unaffected).
+    pub fn set_sched(&mut self, sched: PeSchedSnapshot) {
+        self.sched = sched;
+    }
+
+    /// The PE's scheduler state clock (empty when the runtime recorded
+    /// none).
+    pub fn sched(&self) -> &PeSchedSnapshot {
+        &self.sched
     }
 
     /// A counter's value.
@@ -309,6 +326,7 @@ impl PeSnapshot {
         for (h, o) in self.hists.iter_mut().zip(other.hists.iter()) {
             h.merge(o);
         }
+        self.sched.merge(&other.sched);
     }
 }
 

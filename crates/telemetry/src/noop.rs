@@ -9,6 +9,7 @@
 use crate::ids::{CounterId, GaugeId, HistId, Phase};
 use crate::metrics::MetricsSnapshot;
 use crate::ring::Event;
+use crate::sched::{PeSchedSnapshot, SchedState};
 
 /// No-op counterpart of [`active::FlowTag`](crate::active::FlowTag).
 ///
@@ -148,6 +149,26 @@ impl Registry {
         0
     }
 
+    /// Does nothing (no clock is read).
+    #[inline(always)]
+    pub fn sched_enter(&self, _pe: u16, _state: SchedState) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn sched_finish(&self, _pe: u16) {}
+
+    /// Always `None`.
+    #[inline(always)]
+    pub fn sched_current(&self, _pe: u16) -> Option<SchedState> {
+        None
+    }
+
+    /// Always the empty clock.
+    #[inline(always)]
+    pub fn sched_snapshot(&self, _pe: u16) -> PeSchedSnapshot {
+        PeSchedSnapshot::default()
+    }
+
     /// Does nothing.
     #[inline(always)]
     pub fn begin(&self, _pe: u16, _cycle: u32, _phase: Phase, _name: &'static str) {}
@@ -277,6 +298,11 @@ mod tests {
         r.flow_recv_tag(1, 1, Phase::Mr, "mark", tag);
         r.flow_send(0, 1, Phase::Mt, "mark", 7);
         r.flow_recv(1, 1, Phase::Mt, "mark", 7);
+        r.sched_enter(0, SchedState::Work);
+        assert_eq!(r.sched_current(0), None, "no state clock runs");
+        r.sched_finish(0);
+        assert!(r.sched_snapshot(0).is_empty());
+        assert_eq!(r.snapshot().merged().sched().total_ns(), 0);
         assert_eq!(r.flows_in_flight(), 0);
         assert_eq!(r.snapshot().merged().counter(CounterId::MarkEvents), 0);
         assert!(r.drain_events().is_empty());

@@ -1,0 +1,436 @@
+//! Speedup-gap attribution: where did the other `P-1` processors go?
+//!
+//! The work-stealing runtime's state clock charges every wall-clock
+//! nanosecond of every PE to exactly one scheduler state and emits the
+//! totals as `sched_*` instants when a pass ends. This module folds
+//! those instants into per-PE clocks, estimates the workload's
+//! inherent span (critical path), and splits the gap between observed
+//! PE-time and useful work into named causes:
+//!
+//! * **useful work** — `sched_work`: executing tasks.
+//! * **steal overhead** — `sched_steal_search`: probing victims.
+//! * **mailbox delay** — `sched_mailbox_drain`: draining remote sends.
+//! * **parking** — `sched_park`: blocked on the idle condvar.
+//! * **termination** — `sched_quiesce`: the quiescence barrier.
+//! * **idle** — `sched_spin` + `sched_yield`, split against the span
+//!   estimate: with total work `W`, span `S` and `P` processors, even a
+//!   perfect scheduler runs for `max(W/P, S)` wall-clock, so
+//!   `max(0, P*S - W)` of idle time is a **true span limit**; whatever
+//!   idle remains is **load imbalance** the scheduler failed to smooth.
+//!
+//! The span estimate comes from the flow-event critical path when the
+//! stream carries `flow_send`/`flow_recv` pairs, else from a
+//! `bsp_span_us` instant (a BSP-round lower bound a bench can emit),
+//! else idle is attributed wholly to load imbalance and the report says
+//! so. By the clock's exact-sum invariant a finished episode accounts
+//! for 100% of its span; the report prints the worst PE's accounted
+//! fraction so a truncated stream is visible.
+
+use std::collections::BTreeMap;
+
+use crate::{critical_paths, match_flows, Kind, ParsedEvent};
+
+/// Scheduler states in clock order, as `(instant name, display name)`.
+///
+/// Mirrors `dgr_telemetry::SchedState::{event_name, name}`; kept as
+/// string pairs so the analyzer stays free of runtime dependencies.
+pub const SCHED_STATES: [(&str, &str); 7] = [
+    ("sched_work", "work"),
+    ("sched_steal_search", "steal_search"),
+    ("sched_spin", "spin"),
+    ("sched_yield", "yield"),
+    ("sched_park", "park"),
+    ("sched_mailbox_drain", "mailbox_drain"),
+    ("sched_quiesce", "quiesce"),
+];
+
+/// Indices into a [`PeClock::ns`] array, matching [`SCHED_STATES`].
+const WORK: usize = 0;
+const STEAL_SEARCH: usize = 1;
+const SPIN: usize = 2;
+const YIELD: usize = 3;
+const PARK: usize = 4;
+const MAILBOX_DRAIN: usize = 5;
+const QUIESCE: usize = 6;
+
+/// One PE's reconstructed state clock.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PeClock {
+    /// The PE the clock belongs to.
+    pub pe: u16,
+    /// Nanoseconds per state, indexed like [`SCHED_STATES`].
+    pub ns: [u64; 7],
+    /// Episode span (first enter to last transition), nanoseconds.
+    pub span_ns: u64,
+}
+
+impl PeClock {
+    /// Total accounted nanoseconds across all states.
+    pub fn total_ns(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    /// Accounted fraction of the episode span, in [0, 1]; 1.0 for an
+    /// empty clock (nothing ran, nothing unaccounted).
+    pub fn accounted(&self) -> f64 {
+        if self.span_ns == 0 {
+            return 1.0;
+        }
+        self.total_ns() as f64 / self.span_ns as f64
+    }
+}
+
+/// Where the span estimate came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanSource {
+    /// Summed per-cycle critical paths of matched flow edges.
+    Flow,
+    /// A `bsp_span_us` instant emitted by the bench harness.
+    Bsp,
+    /// No estimate available; idle is all called load imbalance.
+    None,
+}
+
+impl SpanSource {
+    /// Human-readable label for the report.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanSource::Flow => "flow critical path",
+            SpanSource::Bsp => "bsp round estimate",
+            SpanSource::None => "none",
+        }
+    }
+}
+
+/// Per-PE clocks plus the span estimate — the input to [`attribution`].
+#[derive(Debug, Clone)]
+pub struct BlameReport {
+    /// One clock per PE that emitted `sched_*` instants, by PE id.
+    pub pes: Vec<PeClock>,
+    /// Estimated inherent span of the workload, nanoseconds.
+    pub est_span_ns: Option<u64>,
+    /// Provenance of `est_span_ns`.
+    pub span_source: SpanSource,
+}
+
+/// Folds a parsed stream into per-PE state clocks and a span estimate.
+///
+/// `sched_*` instants are keyed by `(pe, state)` with the last value
+/// winning, so a stream holding several passes on one registry reports
+/// the final cumulative clock; pass-exact blame wants one registry (and
+/// one stream) per pass.
+pub fn blame(events: &[ParsedEvent]) -> BlameReport {
+    let mut clocks: BTreeMap<u16, PeClock> = BTreeMap::new();
+    let mut bsp_span_us: Option<u64> = None;
+    for e in events {
+        if e.kind != Kind::Instant {
+            continue;
+        }
+        if e.name == "bsp_span_us" {
+            bsp_span_us = Some(e.value);
+            continue;
+        }
+        if e.name == "sched_span" {
+            clocks.entry(e.pe).or_default().span_ns = e.value;
+            continue;
+        }
+        if let Some(i) = SCHED_STATES.iter().position(|(ev, _)| *ev == e.name) {
+            clocks.entry(e.pe).or_default().ns[i] = e.value;
+        }
+    }
+    let graph = match_flows(events);
+    let (est_span_ns, span_source) = if !graph.edges.is_empty() {
+        let us: u64 = critical_paths(&graph).iter().map(|p| p.span_us).sum();
+        (Some(us * 1000), SpanSource::Flow)
+    } else if let Some(us) = bsp_span_us {
+        (Some(us * 1000), SpanSource::Bsp)
+    } else {
+        (None, SpanSource::None)
+    };
+    let pes = clocks
+        .into_iter()
+        .map(|(pe, mut c)| {
+            c.pe = pe;
+            c
+        })
+        .collect();
+    BlameReport {
+        pes,
+        est_span_ns,
+        span_source,
+    }
+}
+
+/// The speedup gap split into causes, each a fraction of total PE-time
+/// (the sum of every PE's episode span). The fractions plus `work` sum
+/// to each PE's accounted share, i.e. to ~1.0 for finished episodes.
+#[derive(Debug, Clone, Default)]
+pub struct Attribution {
+    /// Useful work.
+    pub work: f64,
+    /// Steal overhead (victim probing).
+    pub steal: f64,
+    /// Mailbox drain delay.
+    pub mailbox: f64,
+    /// Parked on the idle condvar.
+    pub park: f64,
+    /// Quiescence/termination barrier.
+    pub quiesce: f64,
+    /// Idle that even a perfect scheduler could not remove, bounded by
+    /// the span estimate. Zero when no estimate is available.
+    pub span_limit: f64,
+    /// Idle beyond the span bound: work existed elsewhere but this PE
+    /// spun or yielded instead of getting it.
+    pub imbalance: f64,
+    /// Worst per-PE accounted fraction — the report's confidence.
+    pub min_accounted: f64,
+}
+
+impl Attribution {
+    /// The largest non-work cause, as `(label, fraction)`.
+    pub fn dominant(&self) -> (&'static str, f64) {
+        let causes = [
+            ("steal overhead", self.steal),
+            ("mailbox delay", self.mailbox),
+            ("parking", self.park),
+            ("termination", self.quiesce),
+            ("true span limit", self.span_limit),
+            ("load imbalance", self.imbalance),
+        ];
+        causes
+            .into_iter()
+            .fold(("none", 0.0), |acc, c| if c.1 > acc.1 { c } else { acc })
+    }
+}
+
+/// Computes the attribution from a [`BlameReport`].
+pub fn attribution(r: &BlameReport) -> Attribution {
+    let total_span: u64 = r.pes.iter().map(|c| c.span_ns).sum();
+    if total_span == 0 {
+        return Attribution {
+            min_accounted: 1.0,
+            ..Default::default()
+        };
+    }
+    let sum = |i: usize| r.pes.iter().map(|c| c.ns[i]).sum::<u64>();
+    let work = sum(WORK);
+    let idle = sum(SPIN) + sum(YIELD);
+    // max(0, P*S - W) of idle is unavoidable: wall >= max(W/P, S), so a
+    // perfect run still burns that much PE-time waiting on the chain.
+    let unavoidable = match r.est_span_ns {
+        Some(s) => (s.saturating_mul(r.pes.len() as u64)).saturating_sub(work),
+        None => 0,
+    };
+    let span_limit = idle.min(unavoidable);
+    let frac = |ns: u64| ns as f64 / total_span as f64;
+    Attribution {
+        work: frac(work),
+        steal: frac(sum(STEAL_SEARCH)),
+        mailbox: frac(sum(MAILBOX_DRAIN)),
+        park: frac(sum(PARK)),
+        quiesce: frac(sum(QUIESCE)),
+        span_limit: frac(span_limit),
+        imbalance: frac(idle - span_limit),
+        min_accounted: r.pes.iter().map(|c| c.accounted()).fold(1.0f64, f64::min),
+    }
+}
+
+fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Renders the blame report and its attribution as plain text.
+pub fn blame_text(r: &BlameReport) -> String {
+    let mut out = String::new();
+    if r.pes.is_empty() {
+        out.push_str("no sched_* instants — was the run built with the `telemetry` feature?\n");
+        return out;
+    }
+    let a = attribution(r);
+    match r.est_span_ns {
+        Some(ns) => out.push_str(&format!(
+            "speedup-gap attribution over {} PEs (span estimate {} us via {})\n",
+            r.pes.len(),
+            ns / 1000,
+            r.span_source.name()
+        )),
+        None => out.push_str(&format!(
+            "speedup-gap attribution over {} PEs (no span estimate — idle counts as imbalance)\n",
+            r.pes.len()
+        )),
+    }
+    out.push_str("pe  span_us  acct%   work%  steal%  spin%  yield%  park%  mbox%  quies%\n");
+    for c in &r.pes {
+        let f = |i: usize| {
+            if c.span_ns == 0 {
+                0.0
+            } else {
+                c.ns[i] as f64 / c.span_ns as f64 * 100.0
+            }
+        };
+        out.push_str(&format!(
+            "{:>2}  {:>7}  {:>5.1}  {:>6.1}  {:>6.1}  {:>5.1}  {:>6.1}  {:>5.1}  {:>5.1}  {:>6.1}\n",
+            c.pe,
+            c.span_ns / 1000,
+            c.accounted() * 100.0,
+            f(WORK),
+            f(STEAL_SEARCH),
+            f(SPIN),
+            f(YIELD),
+            f(PARK),
+            f(MAILBOX_DRAIN),
+            f(QUIESCE),
+        ));
+    }
+    out.push_str("aggregate (fractions of total PE-time):\n");
+    out.push_str(&format!("  useful work      {:>7}\n", pct(a.work)));
+    out.push_str(&format!("  steal overhead   {:>7}\n", pct(a.steal)));
+    out.push_str(&format!("  mailbox delay    {:>7}\n", pct(a.mailbox)));
+    out.push_str(&format!("  parking          {:>7}\n", pct(a.park)));
+    out.push_str(&format!("  termination      {:>7}\n", pct(a.quiesce)));
+    out.push_str(&format!(
+        "  idle             {:>7} = true span limit {} + load imbalance {}\n",
+        pct(a.span_limit + a.imbalance),
+        pct(a.span_limit),
+        pct(a.imbalance)
+    ));
+    let (cause, frac) = a.dominant();
+    out.push_str(&format!(
+        "dominant gap cause: {cause} ({} of PE-time)\n",
+        pct(frac)
+    ));
+    out.push_str(&format!(
+        "accounting: worst PE covers {} of its wall-clock (target >= 95%)\n",
+        pct(a.min_accounted)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instant(pe: u16, name: &str, value: u64) -> ParsedEvent {
+        ParsedEvent {
+            ts_us: 0,
+            pe,
+            cycle: 0,
+            phase: "M_R".to_string(),
+            kind: Kind::Instant,
+            name: name.to_string(),
+            value,
+            lamport: 0,
+        }
+    }
+
+    /// A two-PE episode: PE 0 works the whole span, PE 1 works half and
+    /// spins the other half.
+    fn two_pe_stream(extra: Vec<ParsedEvent>) -> Vec<ParsedEvent> {
+        let mut ev = vec![
+            instant(0, "sched_work", 1_000_000),
+            instant(0, "sched_span", 1_000_000),
+            instant(1, "sched_work", 500_000),
+            instant(1, "sched_spin", 500_000),
+            instant(1, "sched_span", 1_000_000),
+        ];
+        ev.extend(extra);
+        ev
+    }
+
+    #[test]
+    fn clocks_fold_per_pe_with_last_value_winning() {
+        let mut ev = two_pe_stream(vec![]);
+        // A second pass overwrites PE 0's cumulative totals.
+        ev.push(instant(0, "sched_work", 2_000_000));
+        ev.push(instant(0, "sched_span", 2_000_000));
+        let r = blame(&ev);
+        assert_eq!(r.pes.len(), 2);
+        assert_eq!(r.pes[0].pe, 0);
+        assert_eq!(r.pes[0].ns[WORK], 2_000_000);
+        assert_eq!(r.pes[0].span_ns, 2_000_000);
+        assert_eq!(r.pes[1].total_ns(), 1_000_000);
+        assert!((r.pes[1].accounted() - 1.0).abs() < 1e-12);
+        assert_eq!(r.span_source, SpanSource::None);
+    }
+
+    #[test]
+    fn without_a_span_estimate_idle_is_all_imbalance() {
+        let r = blame(&two_pe_stream(vec![]));
+        let a = attribution(&r);
+        assert!((a.work - 0.75).abs() < 1e-9, "work {}", a.work);
+        assert!((a.imbalance - 0.25).abs() < 1e-9);
+        assert_eq!(a.span_limit, 0.0);
+        assert_eq!(a.dominant().0, "load imbalance");
+        assert!((a.min_accounted - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bsp_span_estimate_reclassifies_unavoidable_idle() {
+        // Span estimate 900us: P*S - W = 2*900k - 1500k = 300k ns of the
+        // 500k idle is unavoidable; 200k remains imbalance.
+        let r = blame(&two_pe_stream(vec![instant(0, "bsp_span_us", 900)]));
+        assert_eq!(r.span_source, SpanSource::Bsp);
+        assert_eq!(r.est_span_ns, Some(900_000));
+        let a = attribution(&r);
+        assert!((a.span_limit - 0.15).abs() < 1e-9, "{}", a.span_limit);
+        assert!((a.imbalance - 0.10).abs() < 1e-9, "{}", a.imbalance);
+        assert_eq!(a.dominant().0, "true span limit");
+    }
+
+    #[test]
+    fn flow_edges_outrank_the_bsp_estimate() {
+        let flows = vec![
+            ParsedEvent {
+                ts_us: 10,
+                pe: 0,
+                cycle: 1,
+                phase: "M_R".to_string(),
+                kind: Kind::FlowSend,
+                name: "M_R".to_string(),
+                value: 7,
+                lamport: 0,
+            },
+            ParsedEvent {
+                ts_us: 260,
+                pe: 1,
+                cycle: 1,
+                phase: "M_R".to_string(),
+                kind: Kind::FlowRecv,
+                name: "M_R".to_string(),
+                value: 7,
+                lamport: 0,
+            },
+            instant(0, "bsp_span_us", 900),
+        ];
+        let r = blame(&two_pe_stream(flows));
+        assert_eq!(r.span_source, SpanSource::Flow);
+        assert_eq!(r.est_span_ns, Some(250_000), "one 250us hop");
+    }
+
+    #[test]
+    fn report_renders_every_cause_and_the_accounting_line() {
+        let ev = two_pe_stream(vec![instant(0, "bsp_span_us", 900)]);
+        let text = blame_text(&blame(&ev));
+        for needle in [
+            "speedup-gap attribution over 2 PEs",
+            "bsp round estimate",
+            "useful work",
+            "steal overhead",
+            "mailbox delay",
+            "parking",
+            "termination",
+            "true span limit",
+            "load imbalance",
+            "dominant gap cause: true span limit",
+            "target >= 95%",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_renders_the_hint() {
+        let text = blame_text(&blame(&[]));
+        assert!(text.contains("no sched_* instants"), "{text}");
+    }
+}

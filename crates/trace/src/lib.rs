@@ -22,8 +22,15 @@
 //!   the marking wave: wide and shallow or narrow and deep.
 //! * [`summarize`] / [`diff_text`] — whole-run statistics and an A/B
 //!   comparison between two runs.
+//! * [`blame`] — speedup-gap attribution: folds the `sched_*` state
+//!   clock instants the work-stealing runtime emits into per-PE time
+//!   breakdowns and names the dominant gap cause (load imbalance,
+//!   steal overhead, mailbox delay, parking, or true span limit).
 
 use std::collections::BTreeMap;
+
+pub mod blame;
+pub use blame::{attribution, blame, blame_text, Attribution, BlameReport, PeClock, SpanSource};
 
 /// Event kinds, mirroring the `kind` strings `dgr_telemetry` emits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

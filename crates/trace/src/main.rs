@@ -5,6 +5,7 @@
 //! dgr-trace summarize      <events.jsonl | flight-N.json>
 //! dgr-trace critical-path  <events.jsonl | flight-N.json> [--cycle N] [--verbose]
 //! dgr-trace fanout         <events.jsonl | flight-N.json>
+//! dgr-trace blame          <events.jsonl | flight-N.json>
 //! dgr-trace diff           <before.jsonl> <after.jsonl>
 //! ```
 //!
@@ -19,10 +20,11 @@ use dgr_trace::{
     summarize, summary_text, ParsedEvent,
 };
 
-const USAGE: &str = "usage: dgr-trace <summarize|critical-path|fanout|diff> <file> [args]
+const USAGE: &str = "usage: dgr-trace <summarize|critical-path|fanout|blame|diff> <file> [args]
   summarize     <file>                       run statistics and flow matching
   critical-path <file> [--cycle N] [--verbose]  longest causal hop chain per cycle
   fanout        <file>                       per-phase fan-out histograms
+  blame         <file>                       speedup-gap attribution from state clocks
   diff          <before> <after>             A/B comparison of two runs
 <file> is an events JSONL (BENCH_telemetry_events.jsonl) or a flight dump (flight-<pe>.json)";
 
@@ -67,6 +69,12 @@ fn run() -> Result<String, String> {
                 return Err(USAGE.to_string());
             };
             Ok(fanout_text(&fanout(&load(path)?)))
+        }
+        "blame" => {
+            let [path] = rest else {
+                return Err(USAGE.to_string());
+            };
+            Ok(dgr_trace::blame_text(&dgr_trace::blame(&load(path)?)))
         }
         "diff" => {
             let [before, after] = rest else {
