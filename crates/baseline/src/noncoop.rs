@@ -9,8 +9,9 @@
 
 use dgr_core::driver::{reset_slot, route};
 use dgr_core::{handle_mark, MarkMsg, MarkState, RMode};
-use dgr_graph::{oracle, GraphStore, MarkParent, PartitionMap, PartitionStrategy, Slot};
+use dgr_graph::{oracle, GraphStore, MarkParent, PartitionMap, PartitionStrategy, Requester, Slot};
 use dgr_sim::{DetSim, SchedPolicy};
+use dgr_telemetry::LifecycleTracker;
 use dgr_workloads::mutation::MoveMutator;
 use serde::{Deserialize, Serialize};
 
@@ -87,6 +88,53 @@ pub fn mark_under_mutation(
     }
 }
 
+/// [`mark_under_mutation`] followed by reclamation, with the vertex
+/// lifecycle observed through `lc`.
+///
+/// The caller owns the cycle bracket (`begin_cycle`/`end_cycle`). After
+/// the pass drains, every oracle-garbage vertex is censused and freed —
+/// garbage is never root-reachable, so the pass never marks it and its
+/// marks agree with the oracle on this set regardless of cooperation.
+/// (What non-cooperation corrupts is the *live* side: `lost_live` counts
+/// live vertices the marks would additionally, wrongly, reclaim; the
+/// observatory does not free those, or repeated passes would run on a
+/// corrupted graph.) Every marking event is charged to the M_R meter
+/// against the paper's two-messages-per-marked-vertex bound.
+pub fn mark_under_mutation_observed(
+    g: &mut GraphStore,
+    cooperating: bool,
+    mutation_period: u64,
+    seed: u64,
+    lc: &mut LifecycleTracker,
+) -> CoopReport {
+    let r = mark_under_mutation(g, cooperating, mutation_period, seed);
+    let reach = oracle::reachable_r(g);
+    let garbage = oracle::garbage(g, &reach);
+    if lc.enabled() {
+        for w in garbage.iter() {
+            lc.garbage_vertex(w.index());
+        }
+    }
+    // Same requester hygiene as the concurrent restructuring phase.
+    let live: Vec<_> = g.live_ids().filter(|&v| !garbage.contains(v)).collect();
+    for v in live {
+        g.vertex_mut(v).retain_requesters(|req| match req {
+            Requester::Vertex(x) => !garbage.contains(x),
+            Requester::External => true,
+        });
+    }
+    let marked = g
+        .live_ids()
+        .filter(|&v| g.mark(v, Slot::R).is_marked())
+        .count() as u64;
+    for w in garbage.iter() {
+        g.free(w);
+        lc.reclaim_vertex(w.index());
+    }
+    lc.meter_msgs(0, r.mark_events, 2 * marked);
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +162,27 @@ mod tests {
             total_lost += r.lost_live;
         }
         assert!(total_lost > 0, "static-graph marking lost no vertices?");
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn observed_noncoop_reclaims_true_garbage_and_meters_marking() {
+        use dgr_workloads::graphs::random_digraph;
+        let mut g = random_digraph(128, 2.5, 11);
+        let mut lc = LifecycleTracker::new();
+        lc.begin_cycle(0);
+        let r = mark_under_mutation_observed(&mut g, false, 8, 11, &mut lc);
+        lc.end_cycle();
+        let s = lc.snapshot();
+        assert!(s.reclaimed > 0, "workload produced no garbage");
+        assert_eq!(s.exact, s.reclaimed, "census precedes every free");
+        assert_eq!(s.float_now, 0);
+        assert_eq!(s.msgs_mr, r.mark_events);
+        assert!(s.bound > 0, "bound follows the marked live set");
+        // True garbage is never root-reachable, so reclamation leaves
+        // exactly the live set — regardless of lost marks.
+        let reach = oracle::reachable_r(&g);
+        assert_eq!(g.live_ids().count(), reach.len());
     }
 
     #[test]

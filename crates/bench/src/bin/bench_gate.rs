@@ -43,6 +43,12 @@
 //! catches a state-clock accounting collapse, not parallel efficiency
 //! on a time-sliced host.
 //!
+//! `--max-reclaim-latency CYC` gates records that carry a
+//! `mean_latency_cycles` field (the gclat report under a
+//! telemetry-enabled build): the worst cell of each family must keep
+//! its mean reclamation latency at or under the ceiling, catching a
+//! collector that starts letting garbage float across cycles.
+//!
 //! Exit code is non-zero on any regression, missing record, count
 //! mismatch, or failed speedup gate, so CI can surface it — the
 //! workflow step is marked non-blocking and the exit code shows up as
@@ -63,6 +69,9 @@ struct Record {
     /// Per-PE utilization percentage, present only in records the
     /// utilization report emits from a telemetry-enabled build.
     utilization_pct: Option<f64>,
+    /// Mean reclamation latency in cycles, present only in records the
+    /// gclat report emits from a telemetry-enabled build.
+    mean_latency_cycles: Option<f64>,
 }
 
 fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
@@ -99,6 +108,7 @@ fn parse(path: &str) -> Result<Vec<Record>, String> {
             messages,
             wall_us: wall,
             utilization_pct: field(line, "utilization_pct").and_then(|v| v.parse().ok()),
+            mean_latency_cycles: field(line, "mean_latency_cycles").and_then(|v| v.parse().ok()),
         });
     }
     if out.is_empty() {
@@ -144,14 +154,17 @@ fn speedup_curves(records: &[Record]) -> Vec<Curve> {
 }
 
 const USAGE: &str = "usage: bench_gate <baseline.json> <fresh.json> [--tolerance-pct N] \
-                     [--min-speedup X] [--speedup-family SUBSTR] [--min-utilization PCT]\n       \
+                     [--min-speedup X] [--speedup-family SUBSTR] [--min-utilization PCT] \
+                     [--max-reclaim-latency CYC]\n       \
                      bench_gate --speedup-only <fresh.json> [--min-speedup X] \
-                     [--speedup-family SUBSTR] [--min-utilization PCT]";
+                     [--speedup-family SUBSTR] [--min-utilization PCT] \
+                     [--max-reclaim-latency CYC]";
 
 fn main() -> ExitCode {
     let mut tolerance_pct = 50.0;
     let mut min_speedup: Option<f64> = None;
     let mut min_utilization: Option<f64> = None;
+    let mut max_reclaim_latency: Option<f64> = None;
     let mut family_filter: Option<String> = None;
     let mut speedup_only = false;
     let mut files: Vec<String> = Vec::new();
@@ -163,6 +176,9 @@ fn main() -> ExitCode {
             }
             "--min-speedup" => min_speedup = it.next().and_then(|v| v.parse().ok()),
             "--min-utilization" => min_utilization = it.next().and_then(|v| v.parse().ok()),
+            "--max-reclaim-latency" => {
+                max_reclaim_latency = it.next().and_then(|v| v.parse().ok());
+            }
             "--speedup-family" => family_filter = it.next(),
             "--speedup-only" => speedup_only = true,
             _ if a.starts_with("--") => {
@@ -331,6 +347,49 @@ fn main() -> ExitCode {
                     "ok"
                 };
                 println!("{fam:<36} {:>8} {util:>8.1}  {status}", best.pes);
+            }
+        }
+    }
+
+    // Reclamation-latency ceiling: among the records that carry a mean
+    // reclamation latency (the gclat report under a telemetry-enabled
+    // build), the worst cell of each family must stay at or under the
+    // ceiling — a drift above it means a collector started letting
+    // garbage float across cycles instead of reclaiming promptly.
+    if let Some(ceiling) = max_reclaim_latency {
+        let with_lat: Vec<&Record> = fresh
+            .iter()
+            .filter(|r| r.mean_latency_cycles.is_some())
+            .collect();
+        if with_lat.is_empty() {
+            eprintln!(
+                "bench gate: --max-reclaim-latency set but no record carries \
+                 mean_latency_cycles (telemetry-off build?)"
+            );
+            failures += 1;
+        } else {
+            println!("\nreclaim-latency ceiling: worst cell per family <= {ceiling} cycles");
+            println!("{:<36} {:>8} {:>10}  status", "family", "pes", "mean lat");
+            let mut families: Vec<&str> = with_lat.iter().map(|r| r.family.as_str()).collect();
+            families.dedup();
+            for fam in families {
+                let worst = with_lat
+                    .iter()
+                    .filter(|r| r.family == fam)
+                    .max_by(|a, b| {
+                        a.mean_latency_cycles
+                            .partial_cmp(&b.mean_latency_cycles)
+                            .expect("latency is finite")
+                    })
+                    .expect("family came from a non-empty record");
+                let lat = worst.mean_latency_cycles.expect("filtered to Some");
+                let status = if lat > ceiling {
+                    failures += 1;
+                    "TOO FLOATY"
+                } else {
+                    "ok"
+                };
+                println!("{fam:<36} {:>8} {lat:>10.2}  {status}", worst.pes);
             }
         }
     }

@@ -183,6 +183,7 @@ fn main() {
             dangling: c.dangling,
         });
         hub.publish_gc(totals);
+        hub.publish_lifecycle(gc.lifecycle_snapshot());
         hub.publish_dot(dot::to_dot(
             &gc.sys.graph,
             &dot::DotOptions {

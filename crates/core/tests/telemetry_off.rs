@@ -69,6 +69,24 @@ mod feature_off {
         );
     }
 
+    /// The lifecycle tracker collectors thread through their reclaim
+    /// paths is zero-sized and silent: census, reclaim and meter calls
+    /// vanish, and a closed cycle reports the default ledger.
+    #[test]
+    fn lifecycle_tracker_is_zero_sized_and_silent() {
+        use dgr_telemetry::{CycleLifecycle, LifecycleTracker};
+        assert_eq!(std::mem::size_of::<LifecycleTracker>(), 0);
+        let mut lc = LifecycleTracker::new();
+        assert!(!lc.enabled());
+        lc.begin_cycle(3);
+        lc.garbage_vertex(7);
+        lc.reclaim_vertex(7);
+        lc.meter_msgs(10, 20, 60);
+        assert_eq!(lc.end_cycle(), CycleLifecycle::default());
+        assert!(lc.snapshot().is_empty());
+        assert!(lc.worst_floaters(4).is_empty());
+    }
+
     #[test]
     fn instrumented_pass_records_nothing() {
         let telem = Registry::new(4);
@@ -138,6 +156,28 @@ mod feature_on {
             sched.span_ns,
             "a finished episode accounts for its whole span"
         );
+    }
+
+    /// The same tracker API, feature-on: a census stamp turns into an
+    /// exact latency at reclaim.
+    #[test]
+    fn lifecycle_tracker_records_exact_latencies() {
+        use dgr_telemetry::LifecycleTracker;
+        let mut lc = LifecycleTracker::new();
+        assert!(lc.enabled());
+        lc.begin_cycle(1);
+        lc.garbage_vertex(7);
+        lc.end_cycle();
+        lc.begin_cycle(4);
+        lc.garbage_vertex(7);
+        lc.reclaim_vertex(7);
+        let led = lc.end_cycle();
+        assert_eq!(led.reclaimed, 1);
+        assert_eq!(led.exact, 1);
+        assert_eq!(led.latency_sum, 3, "stamped at cycle 1, freed at 4");
+        let s = lc.snapshot();
+        assert_eq!(s.latency_max, 3);
+        assert_eq!(s.float_now, 0);
     }
 
     #[test]

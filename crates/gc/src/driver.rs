@@ -7,7 +7,10 @@ use dgr_core::{MarkMsg, RMode};
 use dgr_graph::{MarkParent, Priority, Requester, Slot, Value, VertexSet};
 use dgr_reduction::{RedMsg, RunOutcome, System};
 use dgr_sim::Lane;
-use dgr_telemetry::{CounterId, CycleReport as CycleTelemetry, HeartbeatHandle, Phase};
+use dgr_telemetry::{
+    CounterId, CycleReport as CycleTelemetry, HeartbeatHandle, LifecycleSnapshot, LifecycleTracker,
+    Phase,
+};
 
 use crate::classify::{classify_pending_tasks, deadlocked_vertices, garbage_vertices};
 use crate::report::{CycleReport, GcStats};
@@ -96,6 +99,7 @@ pub struct GcDriver {
     last_report: CycleReport,
     timeline: VecDeque<CycleTelemetry>,
     heartbeat: HeartbeatHandle,
+    lifecycle: LifecycleTracker,
 }
 
 impl GcDriver {
@@ -109,7 +113,21 @@ impl GcDriver {
             last_report: CycleReport::default(),
             timeline: VecDeque::new(),
             heartbeat: HeartbeatHandle::default(),
+            lifecycle: LifecycleTracker::new(),
         }
+    }
+
+    /// The vertex-lifecycle tracker (the feature-selected facade — a
+    /// zero-sized no-op without `telemetry`). Its census runs on the same
+    /// garbage set `restructure` already computes, so reclamation
+    /// latencies are exact by construction.
+    pub fn lifecycle(&self) -> &LifecycleTracker {
+        &self.lifecycle
+    }
+
+    /// Running lifecycle totals (empty without the `telemetry` feature).
+    pub fn lifecycle_snapshot(&self) -> LifecycleSnapshot {
+        self.lifecycle.snapshot()
     }
 
     /// Attaches a liveness pulse (e.g. `ObserveHub::heartbeat_handle()`):
@@ -198,6 +216,7 @@ impl GcDriver {
         let run_mt = self.cfg.mt_every > 0 && (self.cycle - 1).is_multiple_of(self.cfg.mt_every);
         report.ran_mt = run_mt;
         let cycle_start = Instant::now();
+        self.lifecycle.begin_cycle(u64::from(self.cycle));
         let snap0 = self.sys.telemetry().snapshot();
         self.sys.sim_mut().reset_lane_high_water();
         let mut telem = CycleTelemetry {
@@ -213,19 +232,32 @@ impl GcDriver {
         // spliced in after a process's `done` fired must still be colored,
         // or it would be misread as garbage (the paper's Lemma 1 argument
         // relies on axiom 2 "also applying after t_c").
+        // Marking-lane deliveries per phase: the message-complexity split
+        // the lifecycle meters charge (`report.mark_events` accumulates
+        // across phases, so the deltas bracket each timed phase exactly).
+        let mut lc_mt = 0u64;
+        let mut lc_mr = 0u64;
         match self.cfg.order {
             CycleOrder::TBeforeR => {
                 if run_mt {
+                    let before = report.mark_events;
                     telem.mt_us = self.timed_phase(Phase::Mt, "M_T", &mut report, Self::phase_t);
+                    lc_mt = report.mark_events - before;
                 }
                 if !report.aborted {
+                    let before = report.mark_events;
                     telem.mr_us = self.timed_phase(Phase::Mr, "M_R", &mut report, Self::phase_r);
+                    lc_mr = report.mark_events - before;
                 }
             }
             CycleOrder::RBeforeT => {
+                let before = report.mark_events;
                 telem.mr_us = self.timed_phase(Phase::Mr, "M_R", &mut report, Self::phase_r);
+                lc_mr = report.mark_events - before;
                 if run_mt && !report.aborted {
+                    let before = report.mark_events;
                     telem.mt_us = self.timed_phase(Phase::Mt, "M_T", &mut report, Self::phase_t);
+                    lc_mt = report.mark_events - before;
                 }
             }
         }
@@ -238,9 +270,11 @@ impl GcDriver {
                 .begin(0, self.cycle, Phase::Mr, "settle");
             self.heartbeat.begin_phase(self.cycle, Phase::Mr);
             let t = Instant::now();
+            let before = report.mark_events;
             self.drive_phase(&mut report, |s| {
                 s.mark_state.r_done && (!run_mt || s.mark_state.t_done)
             });
+            lc_mr += report.mark_events - before;
             telem.settle_us = t.elapsed().as_micros() as u64;
             self.heartbeat.end_phase();
             self.sys.telemetry().end(0, self.cycle, Phase::Mr, "settle");
@@ -275,31 +309,14 @@ impl GcDriver {
         telem.garbage = report.garbage;
         telem.irrelevant = report.census.irrelevant;
         telem.deadlocked = report.deadlocked.len();
-        telem.reclaimed = report.reclaimed;
-        telem.expunged = report.expunged;
-        telem.relaned = report.relaned;
         telem.mark_backlog_hw = self.sys.sim().stats().lane_high_water(Lane::Marking) as u64;
         let snap1 = self.sys.telemetry().snapshot();
         telem.sends_local =
             snap1.counter_total(CounterId::SendsLocal) - snap0.counter_total(CounterId::SendsLocal);
         telem.sends_remote = snap1.counter_total(CounterId::SendsRemote)
             - snap0.counter_total(CounterId::SendsRemote);
-        {
-            let reg = self.sys.telemetry();
-            let shard = reg.pe(0);
-            shard.add(CounterId::Reclaimed, report.reclaimed as u64);
-            shard.add(CounterId::Expunged, report.expunged as u64);
-            shard.add(CounterId::Relaned, report.relaned as u64);
-            reg.instant(
-                0,
-                self.cycle,
-                Phase::Gc,
-                "reclaimed",
-                report.reclaimed as u64,
-            );
-            reg.instant(0, self.cycle, Phase::Gc, "expunged", report.expunged as u64);
-            reg.instant(0, self.cycle, Phase::Gc, "relaned", report.relaned as u64);
-        }
+        self.emit_restructure_tallies(&mut telem, &report);
+        self.close_lifecycle_cycle(&report, lc_mt, lc_mr);
         if self.timeline.len() == TIMELINE_CAP {
             self.timeline.pop_front();
         }
@@ -308,6 +325,71 @@ impl GcDriver {
         self.last_report = report.clone();
         self.heartbeat.cycle_done();
         report
+    }
+
+    /// The single emission point for the restructure tallies: the
+    /// timeline fields, the per-PE counter shards and the per-cycle
+    /// instants all read the same report here, so the lifecycle stamps
+    /// (taken on the very same garbage set) cannot drift from the
+    /// counters.
+    fn emit_restructure_tallies(&self, telem: &mut CycleTelemetry, report: &CycleReport) {
+        telem.reclaimed = report.reclaimed;
+        telem.expunged = report.expunged;
+        telem.relaned = report.relaned;
+        let reg = self.sys.telemetry();
+        let shard = reg.pe(0);
+        shard.add(CounterId::Reclaimed, report.reclaimed as u64);
+        shard.add(CounterId::Expunged, report.expunged as u64);
+        shard.add(CounterId::Relaned, report.relaned as u64);
+        reg.instant(
+            0,
+            self.cycle,
+            Phase::Gc,
+            "reclaimed",
+            report.reclaimed as u64,
+        );
+        reg.instant(0, self.cycle, Phase::Gc, "expunged", report.expunged as u64);
+        reg.instant(0, self.cycle, Phase::Gc, "relaned", report.relaned as u64);
+    }
+
+    /// Closes the cycle's lifecycle ledger and emits the per-cycle `lc_*`
+    /// instants an offline analyzer (`dgr-trace lifecycle`) folds back
+    /// into the float/latency/message-cost table. An aborted cycle never
+    /// censused, so its ledger stays open (stamps must not be swept as
+    /// resurrections) and nothing is emitted.
+    fn close_lifecycle_cycle(&mut self, report: &CycleReport, lc_mt: u64, lc_mr: u64) {
+        if report.aborted {
+            return;
+        }
+        // Section 4 charges marking with O(1) messages per arc of the
+        // marking tree: one mark per vertex claimed plus its return.
+        // `2 × marked` is that bound in messages; the efficiency ratio
+        // exposes re-marks of shared vertices and priority upgrades.
+        let bound = 2 * (report.marked_r + report.marked_t) as u64;
+        self.lifecycle.meter_msgs(lc_mt, lc_mr, bound);
+        let lc = self.lifecycle.end_cycle();
+        debug_assert!(
+            !self.lifecycle.enabled() || lc.reclaimed == report.reclaimed as u64,
+            "lifecycle reclaim stamps drifted from the restructure tally"
+        );
+        let reg = self.sys.telemetry();
+        if reg.enabled() {
+            reg.instant(0, self.cycle, Phase::Gc, "lc_garbage", lc.garbage);
+            reg.instant(0, self.cycle, Phase::Gc, "lc_reclaimed", lc.reclaimed);
+            reg.instant(0, self.cycle, Phase::Gc, "lc_exact", lc.exact);
+            reg.instant(0, self.cycle, Phase::Gc, "lc_latency_sum", lc.latency_sum);
+            reg.instant(0, self.cycle, Phase::Gc, "lc_float", lc.float);
+            reg.instant(0, self.cycle, Phase::Gc, "lc_msgs_mt", lc.msgs_mt);
+            reg.instant(0, self.cycle, Phase::Gc, "lc_msgs_mr", lc.msgs_mr);
+            reg.instant(0, self.cycle, Phase::Gc, "lc_bound", lc.bound);
+            // Worst-float offenders, value-packed as (vertex << 16) | age
+            // (ages saturate at 0xFFFF) — `dgr-trace lifecycle` unpacks
+            // the same way.
+            for (idx, age) in self.lifecycle.worst_floaters(4) {
+                let packed = (u64::from(idx) << 16) | age.min(0xFFFF);
+                reg.instant(0, self.cycle, Phase::Gc, "lc_floater", packed);
+            }
+        }
     }
 
     /// Runs one marking phase wrapped in a telemetry span and a wall-clock
@@ -470,6 +552,14 @@ impl GcDriver {
         report.census = classify_pending_tasks(&self.sys);
         let garbage: VertexSet = garbage_vertices(&self.sys.graph);
         report.garbage = garbage.len();
+        if self.lifecycle.enabled() {
+            // The lifecycle census taps the very garbage set computed
+            // above — never recomputed — so the latency stamped when a
+            // vertex is finally freed is exact by construction.
+            for w in garbage.iter() {
+                self.lifecycle.garbage_vertex(w.index());
+            }
+        }
         if ran_mt {
             report.deadlocked = deadlocked_vertices(&self.sys.graph);
         }
@@ -491,6 +581,7 @@ impl GcDriver {
             }
             for w in garbage.iter() {
                 self.sys.graph.free(w);
+                self.lifecycle.reclaim_vertex(w.index());
             }
             report.reclaimed = garbage.len();
         }
@@ -692,6 +783,80 @@ mod tests {
         assert!(events.iter().any(|e| e.name == "M_R"));
         assert!(events.iter().any(|e| e.name == "cycle"));
         assert!(events.iter().any(|e| e.name == "restructure"));
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn lifecycle_meters_reclaims_exactly() {
+        let sys = sum_system(40, SystemConfig::default());
+        let mut gc = GcDriver::new(
+            sys,
+            GcConfig {
+                period: 50,
+                ..Default::default()
+            },
+        );
+        gc.run();
+        let s = gc.lifecycle_snapshot();
+        assert_eq!(
+            s.reclaimed,
+            gc.stats().reclaimed_total as u64,
+            "every restructure reclaim was stamped"
+        );
+        assert!(s.reclaimed > 0);
+        assert_eq!(s.exact, s.reclaimed, "driver-attached tracker is exact");
+        assert_eq!(
+            s.float_now, 0,
+            "an every-cycle reclaimer leaves nothing floating"
+        );
+        assert_eq!(s.cycles, u64::from(gc.stats().cycles));
+        assert!(s.msgs_mr > 0, "M_R messages metered");
+        assert!(s.bound > 0, "Section 4 bound metered");
+        let events = gc.sys.telemetry().drain_events();
+        assert!(events.iter().any(|e| e.name == "lc_reclaimed"));
+        assert!(events.iter().any(|e| e.name == "lc_float"));
+        assert!(events.iter().any(|e| e.name == "lc_msgs_mr"));
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn lifecycle_floats_accumulate_without_reclaim() {
+        let sys = sum_system(30, SystemConfig::default());
+        let mut gc = GcDriver::new(
+            sys,
+            GcConfig {
+                period: 40,
+                reclaim: false,
+                ..Default::default()
+            },
+        );
+        gc.run();
+        let s = gc.lifecycle_snapshot();
+        assert_eq!(s.reclaimed, 0);
+        assert!(s.float_now > 0, "garbage floats when reclaim is off");
+        assert!(
+            s.float_age.iter().skip(2).any(|&b| b > 0),
+            "floaters aged past one cycle"
+        );
+        let worst = gc.lifecycle().worst_floaters(4);
+        assert!(!worst.is_empty());
+        assert!(worst[0].1 >= worst.last().unwrap().1, "oldest first");
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn lifecycle_is_silent_feature_off() {
+        let sys = sum_system(30, SystemConfig::default());
+        let mut gc = GcDriver::new(
+            sys,
+            GcConfig {
+                period: 40,
+                ..Default::default()
+            },
+        );
+        gc.run();
+        assert!(gc.lifecycle_snapshot().is_empty());
+        assert!(!gc.lifecycle().enabled());
     }
 
     #[cfg(feature = "telemetry")]

@@ -15,7 +15,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use dgr_telemetry::heartbeat::Heartbeat;
-use dgr_telemetry::{Event, HeartbeatHandle, MetricsSnapshot};
+use dgr_telemetry::{Event, HeartbeatHandle, LifecycleSnapshot, MetricsSnapshot};
 
 /// Bound on the event tail kept for watchdog flight dumps.
 pub const EVENT_TAIL_CAP: usize = 4096;
@@ -86,6 +86,7 @@ pub struct ObserveHub {
     metrics: Mutex<MetricsSnapshot>,
     census: Mutex<CensusSnapshot>,
     gc: Mutex<GcProgress>,
+    lifecycle: Mutex<LifecycleSnapshot>,
     dot: Mutex<String>,
     events: Mutex<VecDeque<Event>>,
     health: Mutex<Health>,
@@ -109,6 +110,7 @@ impl ObserveHub {
             metrics: Mutex::new(MetricsSnapshot::default()),
             census: Mutex::new(CensusSnapshot::default()),
             gc: Mutex::new(GcProgress::default()),
+            lifecycle: Mutex::new(LifecycleSnapshot::default()),
             dot: Mutex::new(String::new()),
             events: Mutex::new(VecDeque::new()),
             health: Mutex::new(Health::Ok),
@@ -163,6 +165,21 @@ impl ObserveHub {
     /// The most recently published GC progress.
     pub fn gc(&self) -> GcProgress {
         *self.gc.lock().expect("hub gc poisoned")
+    }
+
+    /// Publishes the latest vertex-lifecycle snapshot
+    /// (`GcDriver::lifecycle_snapshot`, copied out once per cycle like
+    /// the metrics snapshot).
+    pub fn publish_lifecycle(&self, snap: LifecycleSnapshot) {
+        *self.lifecycle.lock().expect("hub lifecycle poisoned") = snap;
+    }
+
+    /// The most recently published lifecycle snapshot.
+    pub fn lifecycle(&self) -> LifecycleSnapshot {
+        self.lifecycle
+            .lock()
+            .expect("hub lifecycle poisoned")
+            .clone()
     }
 
     /// Publishes a bounded DOT snapshot of the live graph.

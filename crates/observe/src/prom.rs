@@ -131,6 +131,58 @@ fn render_sched(out: &mut String, snap: &MetricsSnapshot) {
     }
 }
 
+/// Renders the vertex-lifecycle families published by the GC driver:
+/// reclamation-latency histogram, float census, and per-reclaim message
+/// cost against the Section 4 bound.
+fn render_lifecycle(out: &mut String, hub: &ObserveHub) {
+    let lc = hub.lifecycle();
+    let name = "dgr_gc_reclaim_latency_cycles";
+    family(
+        out,
+        name,
+        "Cycles from a vertex's first dead census to its reclamation (exact stamps only)",
+        "histogram",
+    );
+    let mut cum = 0u64;
+    for i in 0..HIST_BUCKETS {
+        cum += lc.latency[i];
+        let le = if i == HIST_BUCKETS - 1 {
+            "+Inf".to_string()
+        } else {
+            bucket_upper_edge(i).to_string()
+        };
+        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+    }
+    let _ = writeln!(out, "{name}_sum {}", lc.latency_sum);
+    let _ = writeln!(out, "{name}_count {}", lc.exact);
+
+    family(
+        out,
+        "dgr_gc_float_count",
+        "Vertices dead but not yet reclaimed after the last closed cycle",
+        "gauge",
+    );
+    let _ = writeln!(out, "dgr_gc_float_count {}", lc.float_now);
+
+    family(
+        out,
+        "dgr_gc_msgs_per_reclaimed",
+        "Marking messages per reclaimed vertex, split by marking tree",
+        "gauge",
+    );
+    let (mt, mr) = lc.msgs_per_reclaimed();
+    let _ = writeln!(out, "dgr_gc_msgs_per_reclaimed{{kind=\"mt\"}} {mt:.3}");
+    let _ = writeln!(out, "dgr_gc_msgs_per_reclaimed{{kind=\"mr\"}} {mr:.3}");
+
+    family(
+        out,
+        "dgr_gc_marking_efficiency",
+        "Observed marking messages over the Section 4 bound (<= 1 is within budget)",
+        "gauge",
+    );
+    let _ = writeln!(out, "dgr_gc_marking_efficiency {:.4}", lc.efficiency());
+}
+
 fn render_quantiles(out: &mut String, name: &str, h: &HistSnapshot) {
     let qname = format!("{name}_quantile");
     family(
@@ -204,6 +256,8 @@ pub fn render(hub: &ObserveHub) -> String {
         family(&mut out, name, help, "counter");
         let _ = writeln!(out, "{name} {v}");
     }
+
+    render_lifecycle(&mut out, hub);
 
     let hb = hub.heartbeat();
     family(

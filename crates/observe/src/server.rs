@@ -2,8 +2,9 @@
 //! dependencies, four routes, one thread:
 //!
 //! * `GET /metrics` — Prometheus text exposition ([`crate::prom`]).
-//! * `GET /status` — JSON: uptime, health, GC progress, census,
-//!   heartbeat, per-PE mailbox depth/high-water, and the per-PE
+//! * `GET /status` — JSON: uptime, health, GC progress, census, the
+//!   vertex-lifecycle summary (reclamation latency, float, message
+//!   cost), heartbeat, per-PE mailbox depth/high-water, and the per-PE
 //!   scheduler breakdown (state, utilization, steal traffic).
 //! * `GET /healthz` — `200 ok` in steady state, `503` with the
 //!   watchdog's reason once degraded.
@@ -111,6 +112,23 @@ pub fn status_json(hub: &ObserveHub) -> String {
         census.irrelevant,
         census.dangling,
         census.total(),
+    );
+    let lc = hub.lifecycle();
+    let (mt, mr) = lc.msgs_per_reclaimed();
+    let _ = writeln!(
+        out,
+        "  \"lifecycle\": {{\"reclaimed\": {}, \"exact_fraction\": {:.4}, \
+         \"mean_latency_cycles\": {:.3}, \"p99_latency_cycles\": {}, \"float_now\": {}, \
+         \"msgs_per_reclaimed_mt\": {:.3}, \"msgs_per_reclaimed_mr\": {:.3}, \
+         \"marking_efficiency\": {:.4}}},",
+        lc.reclaimed,
+        lc.exact_fraction(),
+        lc.mean_latency(),
+        lc.latency_quantile(0.99),
+        lc.float_now,
+        mt,
+        mr,
+        lc.efficiency(),
     );
     out.push_str("  \"mailboxes\": [\n");
     let n = snap.per_pe.len();
@@ -330,6 +348,32 @@ mod tests {
         assert!(s.contains("{\"pe\": 1, \"state\": \"park\""));
         assert!(s.contains("\"steals\": 1"));
         assert!(s.contains("\"utilization\": 1.000000"));
+    }
+
+    #[test]
+    fn status_json_carries_the_lifecycle_summary() {
+        use dgr_telemetry::LifecycleSnapshot;
+        let hub = ObserveHub::new();
+        let s = status_json(&hub);
+        assert!(
+            s.contains("\"lifecycle\": {\"reclaimed\": 0, \"exact_fraction\": 1.0000"),
+            "got: {s}"
+        );
+        hub.publish_lifecycle(LifecycleSnapshot {
+            reclaimed: 10,
+            exact: 10,
+            latency_sum: 20,
+            float_now: 3,
+            msgs_mr: 40,
+            bound: 50,
+            cycles: 2,
+            ..Default::default()
+        });
+        let s = status_json(&hub);
+        assert!(s.contains("\"mean_latency_cycles\": 2.000"), "got: {s}");
+        assert!(s.contains("\"float_now\": 3"));
+        assert!(s.contains("\"msgs_per_reclaimed_mr\": 4.000"));
+        assert!(s.contains("\"marking_efficiency\": 0.8000"));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use dgr_observe::{render, CensusSnapshot, GcProgress, ObserveHub};
 use dgr_telemetry::active::Registry;
-use dgr_telemetry::{CounterId, GaugeId, HistId, Phase, SchedState};
+use dgr_telemetry::{CounterId, GaugeId, HistId, LifecycleSnapshot, Phase, SchedState};
 
 /// A hub with every section populated: a 2-PE snapshot with counter,
 /// gauge and histogram traffic, scheduler state clocks and steal-victim
@@ -58,6 +58,24 @@ fn populated_hub() -> ObserveHub {
         reclaimed: 340,
         ..Default::default()
     });
+    // A lifecycle snapshot with every family non-trivial: 4 reclaims
+    // (3 exact at latency 2), 2 floaters, 40 messages against a bound
+    // of 50.
+    let mut lc = LifecycleSnapshot {
+        latency_sum: 6,
+        latency_max: 2,
+        reclaimed: 4,
+        exact: 3,
+        float_now: 2,
+        msgs_mt: 10,
+        msgs_mr: 30,
+        bound: 50,
+        cycles: 5,
+        ..Default::default()
+    };
+    lc.latency[2] = 3;
+    lc.float_age[0] = 2;
+    hub.publish_lifecycle(lc);
     hub.heartbeat().begin_phase(12, Phase::Mr);
     hub.heartbeat().progress(99);
     hub
@@ -184,6 +202,10 @@ fn families_follow_the_fixed_enum_order() {
         "# TYPE dgr_steal_rate gauge",
         "# TYPE dgr_task_census gauge",
         "# TYPE dgr_gc_cycles_total counter",
+        "# TYPE dgr_gc_reclaim_latency_cycles histogram",
+        "# TYPE dgr_gc_float_count gauge",
+        "# TYPE dgr_gc_msgs_per_reclaimed gauge",
+        "# TYPE dgr_gc_marking_efficiency gauge",
         "# TYPE dgr_heartbeat_cycle gauge",
         "# TYPE dgr_watchdog_healthy gauge",
         "# TYPE dgr_scrapes_total counter",
@@ -239,6 +261,14 @@ fn samples_carry_the_published_values() {
     assert!(text.contains("dgr_task_census{class=\"vital\"} 4\n"));
     assert!(text.contains("dgr_gc_cycles_total 12\n"));
     assert!(text.contains("dgr_gc_reclaimed_total 340\n"));
+    assert!(text.contains("dgr_gc_reclaim_latency_cycles_bucket{le=\"3\"} 3\n"));
+    assert!(text.contains("dgr_gc_reclaim_latency_cycles_bucket{le=\"+Inf\"} 3\n"));
+    assert!(text.contains("dgr_gc_reclaim_latency_cycles_sum 6\n"));
+    assert!(text.contains("dgr_gc_reclaim_latency_cycles_count 3\n"));
+    assert!(text.contains("dgr_gc_float_count 2\n"));
+    assert!(text.contains("dgr_gc_msgs_per_reclaimed{kind=\"mt\"} 2.500\n"));
+    assert!(text.contains("dgr_gc_msgs_per_reclaimed{kind=\"mr\"} 7.500\n"));
+    assert!(text.contains("dgr_gc_marking_efficiency 0.8000\n"));
     assert!(text.contains("dgr_heartbeat_cycle 12\n"));
     assert!(text.contains("dgr_heartbeat_phase_active 1\n"));
     assert!(text.contains("dgr_heartbeat_progress_total 99\n"));

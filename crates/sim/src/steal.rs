@@ -33,7 +33,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use dgr_graph::PeId;
-use dgr_telemetry::{CounterId, GaugeId, HeartbeatHandle, HistId, Phase, Registry, SchedState};
+use dgr_telemetry::{
+    CounterId, GaugeId, HeartbeatHandle, HistId, PeSchedSnapshot, Phase, Registry, SchedState,
+};
 use parking_lot::Mutex;
 
 use crate::deque::StealDeque;
@@ -323,9 +325,10 @@ impl StealRuntime {
     /// batch sizes, mailbox/deque/spill depth gauges, park events with
     /// wake latency, and a full [`SchedState`] state clock — every loop
     /// transition charges wall-clock to exactly one state, emitted as
-    /// `sched_*` instants when the pass ends; `hb` beats once per local
-    /// drain run. In a default (no-`telemetry`) build both are zero-sized
-    /// no-ops.
+    /// per-pass `sched_*` delta instants when the pass ends (so several
+    /// passes on one registry each report only their own time); `hb`
+    /// beats once per local drain run. In a default (no-`telemetry`)
+    /// build both are zero-sized no-ops.
     pub fn run_observed<F>(
         &self,
         initial: Vec<(PeId, u64)>,
@@ -360,6 +363,14 @@ impl StealRuntime {
         }
 
         let totals = Mutex::new(StealStats::default());
+        // Per-PE clock baselines taken before any worker runs: the
+        // state clock accumulates across passes on a shared registry,
+        // so the pass-end instants below report this pass's deltas.
+        let sched_base: Vec<PeSchedSnapshot> = if telem.enabled() {
+            (0..n as u16).map(|pe| telem.sched_snapshot(pe)).collect()
+        } else {
+            Vec::new()
+        };
         let multicore = std::thread::available_parallelism().is_ok_and(|p| p.get() > 1);
         std::thread::scope(|scope| {
             for (me, spill) in seed_spill.into_iter().enumerate() {
@@ -406,17 +417,36 @@ impl StealRuntime {
             }
         });
         debug_assert_eq!(mesh.quiesce.pending(), 0);
-        // One instant per (PE, state) with the clock's nanosecond totals,
-        // plus the episode span — the events `dgr-trace blame` reads. The
-        // clock accumulates across passes on a shared registry, so a
-        // pass-exact blame report wants a fresh registry per pass.
+        // One instant per (PE, state) with this pass's nanosecond deltas
+        // against the pre-spawn baselines, plus the pass span — the
+        // events `dgr-trace blame` sums. Deltas (not cumulative totals)
+        // mean several passes on one shared registry blame correctly:
+        // each pass's instants carry only its own time.
         if telem.enabled() {
             for pe in 0..n as u16 {
                 let sched = telem.sched_snapshot(pe);
+                let base = &sched_base[pe as usize];
                 for s in SchedState::ALL {
-                    telem.instant(pe, 0, Phase::Mr, s.event_name(), sched.state_ns(s));
+                    telem.instant(
+                        pe,
+                        0,
+                        Phase::Mr,
+                        s.event_name(),
+                        sched.state_ns(s).saturating_sub(base.state_ns(s)),
+                    );
                 }
-                telem.instant(pe, 0, Phase::Mr, "sched_span", sched.span_ns);
+                // The pass span is the accounted-time delta: the clock's
+                // cumulative span_ns includes the idle gap between
+                // passes, while total_ns equals the span exactly for
+                // each finished episode (the clock's exact-sum
+                // invariant), so its delta is exactly this pass's span.
+                telem.instant(
+                    pe,
+                    0,
+                    Phase::Mr,
+                    "sched_span",
+                    sched.total_ns().saturating_sub(base.total_ns()),
+                );
             }
         }
         totals.into_inner()

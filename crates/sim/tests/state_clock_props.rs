@@ -77,6 +77,46 @@ mod with_feature {
         }
     }
 
+    /// The pass-end `sched_*` instants report per-pass deltas: over two
+    /// passes on one shared registry, summing the instants reproduces
+    /// the cumulative clock — exactly how the blame analyzer folds them.
+    /// The summed span instants equal the accounted time (and stay
+    /// short of the cumulative `span_ns`, which includes the idle gap
+    /// between the passes that belongs to neither).
+    #[test]
+    fn sched_instants_are_per_pass_deltas() {
+        use std::collections::BTreeMap;
+        let telem = Registry::new(2);
+        run_workload(&telem, 2, 4, 3);
+        run_workload(&telem, 2, 4, 3);
+        let mut work: BTreeMap<u16, u64> = BTreeMap::new();
+        let mut span: BTreeMap<u16, u64> = BTreeMap::new();
+        for e in telem.drain_events() {
+            match e.name {
+                "sched_work" => *work.entry(e.pe).or_insert(0) += e.value,
+                "sched_span" => *span.entry(e.pe).or_insert(0) += e.value,
+                _ => {}
+            }
+        }
+        for pe in 0..2u16 {
+            let snap = telem.sched_snapshot(pe);
+            assert_eq!(
+                work[&pe],
+                snap.state_ns(SchedState::Work),
+                "pe {pe}: summed work deltas reproduce the cumulative clock"
+            );
+            assert_eq!(
+                span[&pe],
+                snap.total_ns(),
+                "pe {pe}: summed pass spans are the accounted time"
+            );
+            assert!(
+                span[&pe] < snap.span_ns,
+                "pe {pe}: the inter-pass gap belongs to no pass"
+            );
+        }
+    }
+
     /// The clock keeps accumulating across passes on a shared registry —
     /// the documented reason pass-exact blame wants a fresh registry.
     #[test]

@@ -35,6 +35,7 @@ pub mod cycle;
 pub mod flight;
 pub mod heartbeat;
 pub mod ids;
+pub mod lifecycle;
 pub mod metrics;
 pub mod noop;
 pub mod ring;
@@ -45,6 +46,7 @@ pub use cycle::{timeline_json, timeline_text, CycleReport};
 pub use flight::{flight_json, flight_path, write_flight, FLIGHT_DIR_ENV};
 pub use heartbeat::Heartbeat;
 pub use ids::{CounterId, GaugeId, HistId, Phase};
+pub use lifecycle::{CycleLifecycle, LifecycleSnapshot};
 pub use metrics::{
     bucket_index, bucket_label, bucket_lower_edge, bucket_upper_edge, HistSnapshot,
     MetricsSnapshot, PeSnapshot, HIST_BUCKETS,
@@ -55,7 +57,11 @@ pub use trace::{chrome_trace_json, events_jsonl, json_escape};
 
 #[cfg(feature = "telemetry")]
 pub use active::{FlowTag, HeartbeatHandle, PeShard, Registry, SpanGuard};
+#[cfg(feature = "telemetry")]
+pub use lifecycle::Tracker as LifecycleTracker;
 
+#[cfg(not(feature = "telemetry"))]
+pub use noop::LifecycleTracker;
 #[cfg(not(feature = "telemetry"))]
 pub use noop::{FlowTag, HeartbeatHandle, PeShard, Registry, SpanGuard};
 

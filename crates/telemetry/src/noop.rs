@@ -7,6 +7,7 @@
 //! `lib.rs` re-exports one or the other under the same names.
 
 use crate::ids::{CounterId, GaugeId, HistId, Phase};
+use crate::lifecycle::{CycleLifecycle, LifecycleSnapshot};
 use crate::metrics::MetricsSnapshot;
 use crate::ring::Event;
 use crate::sched::{PeSchedSnapshot, SchedState};
@@ -250,6 +251,79 @@ impl Registry {
 #[derive(Debug)]
 pub struct SpanGuard<'a>(std::marker::PhantomData<&'a ()>);
 
+/// No-op counterpart of the recording
+/// [`lifecycle::Tracker`](crate::lifecycle::Tracker).
+///
+/// Zero-sized: a collector field holding one adds no bytes, every stamp
+/// compiles away, and [`LifecycleTracker::enabled`] returning `false`
+/// lets call sites skip their whole-graph census loops.
+#[derive(Debug, Default)]
+pub struct LifecycleTracker;
+
+impl LifecycleTracker {
+    /// A no-op tracker.
+    #[inline(always)]
+    pub fn new() -> Self {
+        LifecycleTracker
+    }
+
+    /// `false`: nothing is recorded (skip the census loop).
+    #[inline(always)]
+    pub const fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn begin_cycle(&mut self, _cycle: u64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn observe_alive(&mut self, _idx: usize) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn garbage_vertex(&mut self, _idx: usize) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn reclaim_vertex(&mut self, _idx: usize) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn meter_msgs(&mut self, _mt: u64, _mr: u64, _bound: u64) {}
+
+    /// Does nothing; returns the zero record.
+    #[inline(always)]
+    pub fn end_cycle(&mut self) -> CycleLifecycle {
+        CycleLifecycle::default()
+    }
+
+    /// Always the empty snapshot.
+    #[inline(always)]
+    pub fn snapshot(&self) -> LifecycleSnapshot {
+        LifecycleSnapshot::default()
+    }
+
+    /// Always empty.
+    #[inline(always)]
+    pub fn worst_floaters(&self, _k: usize) -> Vec<(u32, u64)> {
+        Vec::new()
+    }
+
+    /// Always `None`.
+    #[inline(always)]
+    pub fn unreachable_cycle(&self, _idx: usize) -> Option<u64> {
+        None
+    }
+
+    /// Always `None`.
+    #[inline(always)]
+    pub fn birth_cycle(&self, _idx: usize) -> Option<u64> {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +339,24 @@ mod tests {
         assert_eq!(std::mem::size_of::<SpanGuard<'_>>(), 0);
         assert_eq!(std::mem::size_of::<FlowTag>(), 0);
         assert_eq!(std::mem::size_of::<HeartbeatHandle>(), 0);
+        assert_eq!(std::mem::size_of::<LifecycleTracker>(), 0);
+    }
+
+    #[test]
+    fn noop_lifecycle_tracks_nothing() {
+        let mut t = LifecycleTracker::new();
+        assert!(!t.enabled());
+        t.begin_cycle(1);
+        t.observe_alive(0);
+        t.garbage_vertex(1);
+        t.reclaim_vertex(1);
+        t.meter_msgs(3, 4, 10);
+        let rec = t.end_cycle();
+        assert_eq!(rec, CycleLifecycle::default());
+        assert!(t.snapshot().is_empty());
+        assert!(t.worst_floaters(8).is_empty());
+        assert_eq!(t.unreachable_cycle(1), None);
+        assert_eq!(t.birth_cycle(1), None);
     }
 
     #[test]

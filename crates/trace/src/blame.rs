@@ -115,10 +115,11 @@ pub struct BlameReport {
 
 /// Folds a parsed stream into per-PE state clocks and a span estimate.
 ///
-/// `sched_*` instants are keyed by `(pe, state)` with the last value
-/// winning, so a stream holding several passes on one registry reports
-/// the final cumulative clock; pass-exact blame wants one registry (and
-/// one stream) per pass.
+/// `sched_*` instants are keyed by `(pe, state)` and **sum**: the
+/// runtime emits per-pass deltas, so a stream holding several passes on
+/// one registry folds to the true multi-pass clock — each pass's
+/// instants carry only its own time, and spans add because the span
+/// instant is the pass's accounted time, not the wall-clock window.
 pub fn blame(events: &[ParsedEvent]) -> BlameReport {
     let mut clocks: BTreeMap<u16, PeClock> = BTreeMap::new();
     let mut bsp_span_us: Option<u64> = None;
@@ -131,11 +132,11 @@ pub fn blame(events: &[ParsedEvent]) -> BlameReport {
             continue;
         }
         if e.name == "sched_span" {
-            clocks.entry(e.pe).or_default().span_ns = e.value;
+            clocks.entry(e.pe).or_default().span_ns += e.value;
             continue;
         }
         if let Some(i) = SCHED_STATES.iter().position(|(ev, _)| *ev == e.name) {
-            clocks.entry(e.pe).or_default().ns[i] = e.value;
+            clocks.entry(e.pe).or_default().ns[i] += e.value;
         }
     }
     let graph = match_flows(events);
@@ -338,16 +339,18 @@ mod tests {
     }
 
     #[test]
-    fn clocks_fold_per_pe_with_last_value_winning() {
+    fn clocks_fold_per_pe_by_summing_pass_deltas() {
         let mut ev = two_pe_stream(vec![]);
-        // A second pass overwrites PE 0's cumulative totals.
+        // A second pass appends its own deltas for PE 0; the folded
+        // clock is the sum of both passes.
         ev.push(instant(0, "sched_work", 2_000_000));
         ev.push(instant(0, "sched_span", 2_000_000));
         let r = blame(&ev);
         assert_eq!(r.pes.len(), 2);
         assert_eq!(r.pes[0].pe, 0);
-        assert_eq!(r.pes[0].ns[WORK], 2_000_000);
-        assert_eq!(r.pes[0].span_ns, 2_000_000);
+        assert_eq!(r.pes[0].ns[WORK], 3_000_000);
+        assert_eq!(r.pes[0].span_ns, 3_000_000);
+        assert!((r.pes[0].accounted() - 1.0).abs() < 1e-12);
         assert_eq!(r.pes[1].total_ns(), 1_000_000);
         assert!((r.pes[1].accounted() - 1.0).abs() < 1e-12);
         assert_eq!(r.span_source, SpanSource::None);

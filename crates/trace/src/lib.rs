@@ -26,11 +26,16 @@
 //!   clock instants the work-stealing runtime emits into per-PE time
 //!   breakdowns and names the dominant gap cause (load imbalance,
 //!   steal overhead, mailbox delay, parking, or true span limit).
+//! * [`lifecycle`] — vertex-lifecycle reconstruction: folds the `lc_*`
+//!   instants the GC driver closes each cycle with into the per-cycle
+//!   float/latency/message-cost table and the worst-floater list.
 
 use std::collections::BTreeMap;
 
 pub mod blame;
 pub use blame::{attribution, blame, blame_text, Attribution, BlameReport, PeClock, SpanSource};
+pub mod lifecycle;
+pub use lifecycle::{lifecycle, lifecycle_text, unpack_floater, LifecycleReport, LifecycleRow};
 
 /// Event kinds, mirroring the `kind` strings `dgr_telemetry` emits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

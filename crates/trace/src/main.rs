@@ -6,6 +6,7 @@
 //! dgr-trace critical-path  <events.jsonl | flight-N.json> [--cycle N] [--verbose]
 //! dgr-trace fanout         <events.jsonl | flight-N.json>
 //! dgr-trace blame          <events.jsonl | flight-N.json>
+//! dgr-trace lifecycle      <events.jsonl | flight-N.json>
 //! dgr-trace diff           <before.jsonl> <after.jsonl>
 //! ```
 //!
@@ -20,11 +21,13 @@ use dgr_trace::{
     summarize, summary_text, ParsedEvent,
 };
 
-const USAGE: &str = "usage: dgr-trace <summarize|critical-path|fanout|blame|diff> <file> [args]
+const USAGE: &str =
+    "usage: dgr-trace <summarize|critical-path|fanout|blame|lifecycle|diff> <file> [args]
   summarize     <file>                       run statistics and flow matching
   critical-path <file> [--cycle N] [--verbose]  longest causal hop chain per cycle
   fanout        <file>                       per-phase fan-out histograms
   blame         <file>                       speedup-gap attribution from state clocks
+  lifecycle     <file>                       per-cycle float/latency/message-cost table
   diff          <before> <after>             A/B comparison of two runs
 <file> is an events JSONL (BENCH_telemetry_events.jsonl) or a flight dump (flight-<pe>.json)";
 
@@ -75,6 +78,14 @@ fn run() -> Result<String, String> {
                 return Err(USAGE.to_string());
             };
             Ok(dgr_trace::blame_text(&dgr_trace::blame(&load(path)?)))
+        }
+        "lifecycle" => {
+            let [path] = rest else {
+                return Err(USAGE.to_string());
+            };
+            Ok(dgr_trace::lifecycle_text(&dgr_trace::lifecycle(&load(
+                path,
+            )?)))
         }
         "diff" => {
             let [before, after] = rest else {
