@@ -49,6 +49,12 @@
 //! its mean reclamation latency at or under the ceiling, catching a
 //! collector that starts letting garbage float across cycles.
 //!
+//! `--max-peak-bytes B` gates records that carry a `peak_live_bytes`
+//! field (the heap report under a telemetry-enabled build): the worst
+//! cell of each family must keep its peak live bytes at or under the
+//! ceiling, catching a pressure trigger that stops holding the
+//! waterline.
+//!
 //! Exit code is non-zero on any regression, missing record, count
 //! mismatch, or failed speedup gate, so CI can surface it — the
 //! workflow step is marked non-blocking and the exit code shows up as
@@ -72,6 +78,9 @@ struct Record {
     /// Mean reclamation latency in cycles, present only in records the
     /// gclat report emits from a telemetry-enabled build.
     mean_latency_cycles: Option<f64>,
+    /// Peak live bytes over the run, present only in records the heap
+    /// report emits from a telemetry-enabled build.
+    peak_live_bytes: Option<f64>,
 }
 
 fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
@@ -109,6 +118,7 @@ fn parse(path: &str) -> Result<Vec<Record>, String> {
             wall_us: wall,
             utilization_pct: field(line, "utilization_pct").and_then(|v| v.parse().ok()),
             mean_latency_cycles: field(line, "mean_latency_cycles").and_then(|v| v.parse().ok()),
+            peak_live_bytes: field(line, "peak_live_bytes").and_then(|v| v.parse().ok()),
         });
     }
     if out.is_empty() {
@@ -155,16 +165,17 @@ fn speedup_curves(records: &[Record]) -> Vec<Curve> {
 
 const USAGE: &str = "usage: bench_gate <baseline.json> <fresh.json> [--tolerance-pct N] \
                      [--min-speedup X] [--speedup-family SUBSTR] [--min-utilization PCT] \
-                     [--max-reclaim-latency CYC]\n       \
+                     [--max-reclaim-latency CYC] [--max-peak-bytes B]\n       \
                      bench_gate --speedup-only <fresh.json> [--min-speedup X] \
                      [--speedup-family SUBSTR] [--min-utilization PCT] \
-                     [--max-reclaim-latency CYC]";
+                     [--max-reclaim-latency CYC] [--max-peak-bytes B]";
 
 fn main() -> ExitCode {
     let mut tolerance_pct = 50.0;
     let mut min_speedup: Option<f64> = None;
     let mut min_utilization: Option<f64> = None;
     let mut max_reclaim_latency: Option<f64> = None;
+    let mut max_peak_bytes: Option<f64> = None;
     let mut family_filter: Option<String> = None;
     let mut speedup_only = false;
     let mut files: Vec<String> = Vec::new();
@@ -179,6 +190,7 @@ fn main() -> ExitCode {
             "--max-reclaim-latency" => {
                 max_reclaim_latency = it.next().and_then(|v| v.parse().ok());
             }
+            "--max-peak-bytes" => max_peak_bytes = it.next().and_then(|v| v.parse().ok()),
             "--speedup-family" => family_filter = it.next(),
             "--speedup-only" => speedup_only = true,
             _ if a.starts_with("--") => {
@@ -390,6 +402,49 @@ fn main() -> ExitCode {
                     "ok"
                 };
                 println!("{fam:<36} {:>8} {lat:>10.2}  {status}", worst.pes);
+            }
+        }
+    }
+
+    // Peak-bytes ceiling: among the records that carry a peak live
+    // bytes reading (the heap report under a telemetry-enabled build),
+    // the worst cell of each family must stay at or under the ceiling —
+    // a drift above it means the pressure trigger stopped holding the
+    // waterline it was configured to hold.
+    if let Some(ceiling) = max_peak_bytes {
+        let with_peak: Vec<&Record> = fresh
+            .iter()
+            .filter(|r| r.peak_live_bytes.is_some())
+            .collect();
+        if with_peak.is_empty() {
+            eprintln!(
+                "bench gate: --max-peak-bytes set but no record carries \
+                 peak_live_bytes (telemetry-off build?)"
+            );
+            failures += 1;
+        } else {
+            println!("\npeak-bytes ceiling: worst cell per family <= {ceiling} bytes");
+            println!("{:<36} {:>8} {:>12}  status", "family", "pes", "peak bytes");
+            let mut families: Vec<&str> = with_peak.iter().map(|r| r.family.as_str()).collect();
+            families.dedup();
+            for fam in families {
+                let worst = with_peak
+                    .iter()
+                    .filter(|r| r.family == fam)
+                    .max_by(|a, b| {
+                        a.peak_live_bytes
+                            .partial_cmp(&b.peak_live_bytes)
+                            .expect("peak is finite")
+                    })
+                    .expect("family came from a non-empty record");
+                let peak = worst.peak_live_bytes.expect("filtered to Some");
+                let status = if peak > ceiling {
+                    failures += 1;
+                    "TOO HIGH"
+                } else {
+                    "ok"
+                };
+                println!("{fam:<36} {:>8} {peak:>12.0}  {status}", worst.pes);
             }
         }
     }

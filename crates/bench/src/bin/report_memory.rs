@@ -1,21 +1,36 @@
 //! Experiment T8: heap behavior over time — the practical payoff of
-//! Property 1.
+//! Property 1, now in bytes.
 //!
 //! The same program runs with and without the collector; we sample the
-//! live vertex count and the heap capacity as reduction proceeds. With
-//! collection, the heap stays bounded near the true live set; without it,
-//! every exhausted subcomputation stays resident and the heap grows with
-//! total allocation.
+//! graph's live-byte clock (plus the vertex count and capacity) as
+//! reduction proceeds. With collection, the heap stays bounded near the
+//! true working set; without it, every exhausted subcomputation stays
+//! resident and live bytes grow with total allocation. The byte clock
+//! is always on (it feeds the `GcTrigger::HeapBytes` pressure trigger),
+//! so the comparison is feature-independent; under a telemetry build
+//! the heap tracker's waterline and exact-stamp accounting ride along
+//! in the summary and the JSON records.
+//!
+//! Output: `BENCH_memory.json` (under `--json`) with one record per
+//! run mode. The boundedness contract is hard-asserted: the collected
+//! run must end with both a smaller heap capacity and fewer live bytes
+//! than the uncollected run.
 
-use dgr_bench::print_table;
+use dgr_bench::{emit_json, print_table, timed, JsonValue};
 use dgr_gc::{GcConfig, GcDriver};
 use dgr_lang::build_with_prelude;
 use dgr_reduction::SystemConfig;
+use dgr_telemetry::TELEMETRY_ENABLED;
 
 const SRC: &str = "sum (map (\\x -> x * x) (range 1 200))";
 const SAMPLE_EVERY: u64 = 2_000;
 
+/// One sampled point: `(events, live vertices, capacity, live bytes)`.
+type Sample = (u64, usize, usize, u64);
+
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+
     // With GC.
     let sys = build_with_prelude(SRC, SystemConfig::default()).unwrap();
     let mut gc = GcDriver::new(
@@ -26,80 +41,148 @@ fn main() {
             ..Default::default()
         },
     );
-    gc.sys.demand_root();
-    let mut gc_samples: Vec<(u64, usize, usize)> = Vec::new();
-    loop {
-        for _ in 0..300 {
-            if !gc.sys.step() {
+    let mut gc_samples: Vec<Sample> = Vec::new();
+    let mut gc_peak = gc.sys.graph.live_bytes();
+    let (_, gc_wall_ms) = timed(|| {
+        gc.sys.demand_root();
+        loop {
+            for _ in 0..300 {
+                if !gc.sys.step() {
+                    break;
+                }
+            }
+            gc_peak = gc_peak.max(gc.sys.graph.live_bytes());
+            if gc.sys.events() / SAMPLE_EVERY > gc_samples.len() as u64 {
+                gc_samples.push((
+                    gc.sys.events(),
+                    gc.sys.graph.live_count(),
+                    gc.sys.graph.capacity(),
+                    gc.sys.graph.live_bytes(),
+                ));
+            }
+            if gc.sys.result.is_some() {
                 break;
             }
+            gc.run_cycle();
         }
-        if gc.sys.events() / SAMPLE_EVERY > gc_samples.len() as u64 {
-            gc_samples.push((
-                gc.sys.events(),
-                gc.sys.graph.live_count(),
-                gc.sys.graph.capacity(),
-            ));
-        }
-        if gc.sys.result.is_some() {
-            break;
-        }
-        gc.run_cycle();
-    }
-    let gc_final = (
+    });
+    let gc_final: Sample = (
         gc.sys.events(),
         gc.sys.graph.live_count(),
         gc.sys.graph.capacity(),
+        gc.sys.graph.live_bytes(),
     );
+    let snap = gc.sys.heap_snapshot();
 
     // Without GC.
     let mut plain = build_with_prelude(SRC, SystemConfig::default()).unwrap();
-    plain.demand_root();
-    let mut plain_samples: Vec<(u64, usize, usize)> = Vec::new();
-    while plain.result.is_none() && plain.step() {
-        if plain.events().is_multiple_of(SAMPLE_EVERY) {
-            plain_samples.push((
-                plain.events(),
-                plain.graph.live_count(),
-                plain.graph.capacity(),
-            ));
+    let mut plain_samples: Vec<Sample> = Vec::new();
+    let (_, plain_wall_ms) = timed(|| {
+        plain.demand_root();
+        while plain.result.is_none() && plain.step() {
+            if plain.events().is_multiple_of(SAMPLE_EVERY) {
+                plain_samples.push((
+                    plain.events(),
+                    plain.graph.live_count(),
+                    plain.graph.capacity(),
+                    plain.graph.live_bytes(),
+                ));
+            }
         }
-    }
-    let plain_final = (
+    });
+    let plain_final: Sample = (
         plain.events(),
         plain.graph.live_count(),
         plain.graph.capacity(),
+        plain.graph.live_bytes(),
     );
 
     let rows: Vec<Vec<String>> = gc_samples
         .iter()
         .zip(plain_samples.iter().chain(std::iter::repeat(&plain_final)))
-        .map(|(&(ev, gl, gcap), &(_, pl, pcap))| {
+        .map(|(&(ev, gl, gcap, gb), &(_, pl, pcap, pb))| {
             vec![
                 ev.to_string(),
                 gl.to_string(),
                 gcap.to_string(),
+                gb.to_string(),
                 pl.to_string(),
                 pcap.to_string(),
+                pb.to_string(),
             ]
         })
         .collect();
     print_table(
         &format!("T8: heap over time for `{SRC}`"),
-        &["events", "gc live", "gc heap", "no-gc live", "no-gc heap"],
+        &[
+            "events",
+            "gc live",
+            "gc heap",
+            "gc bytes",
+            "no-gc live",
+            "no-gc heap",
+            "no-gc bytes",
+        ],
         &rows,
     );
     println!(
-        "\nfinal: with GC live={} heap={} ({} events); without GC live={} heap={} ({} events)",
-        gc_final.1, gc_final.2, gc_final.0, plain_final.1, plain_final.2, plain_final.0
+        "\nfinal: with GC live={} heap={} bytes={} ({} events); \
+         without GC live={} heap={} bytes={} ({} events)",
+        gc_final.1,
+        gc_final.2,
+        gc_final.3,
+        gc_final.0,
+        plain_final.1,
+        plain_final.2,
+        plain_final.3,
+        plain_final.0
     );
+    if TELEMETRY_ENABLED {
+        println!(
+            "tracker: peak {} bytes, {} allocated, {} freed ({:.1}% exact stamps)",
+            snap.peak,
+            snap.alloc_bytes,
+            snap.freed_bytes,
+            snap.exact_fraction() * 100.0
+        );
+    }
     assert!(
         gc_final.2 < plain_final.2,
-        "the collected heap must end smaller"
+        "the collected heap must end smaller (capacity)"
+    );
+    assert!(
+        gc_final.3 < plain_final.3,
+        "the collected heap must end smaller (live bytes)"
     );
     println!(
         "Shape check: under collection the live set (and hence the heap) stays \
          bounded near the working set; without it both grow monotonically with \
          total allocation — memory equal to the entire history of the program."
     );
+
+    let mut with_gc = vec![
+        ("benchmark", JsonValue::Str("memory_with_gc".to_string())),
+        ("vertices", JsonValue::Int(200)),
+        ("pes", JsonValue::Int(1)),
+        ("messages", JsonValue::Int(gc_final.0)),
+        ("wall_us", JsonValue::Float(gc_wall_ms * 1e3)),
+        ("final_live_bytes", JsonValue::Int(gc_final.3)),
+        ("final_capacity", JsonValue::Int(gc_final.2 as u64)),
+        ("sampled_peak_bytes", JsonValue::Int(gc_peak)),
+    ];
+    if TELEMETRY_ENABLED {
+        with_gc.push(("peak_live_bytes", JsonValue::Int(snap.peak)));
+        with_gc.push(("alloc_bytes", JsonValue::Int(snap.alloc_bytes)));
+        with_gc.push(("exact_pct", JsonValue::Float(snap.exact_fraction() * 100.0)));
+    }
+    let without_gc = vec![
+        ("benchmark", JsonValue::Str("memory_without_gc".to_string())),
+        ("vertices", JsonValue::Int(200)),
+        ("pes", JsonValue::Int(1)),
+        ("messages", JsonValue::Int(plain_final.0)),
+        ("wall_us", JsonValue::Float(plain_wall_ms * 1e3)),
+        ("final_live_bytes", JsonValue::Int(plain_final.3)),
+        ("final_capacity", JsonValue::Int(plain_final.2 as u64)),
+    ];
+    emit_json(json, "BENCH_memory.json", &[with_gc, without_gc]);
 }

@@ -87,6 +87,27 @@ mod feature_off {
         assert!(lc.worst_floaters(4).is_empty());
     }
 
+    /// The heap tracker the reduction system stamps allocation traffic
+    /// through is zero-sized and silent: alloc/free/reweight, trigger
+    /// tallies and cycle closes all vanish, and a closed cycle reports
+    /// the default ledger.
+    #[test]
+    fn heap_tracker_is_zero_sized_and_silent() {
+        use dgr_telemetry::{CycleHeap, HeapTracker, TriggerCause};
+        assert_eq!(std::mem::size_of::<HeapTracker>(), 0);
+        let mut hp = HeapTracker::new(4);
+        assert!(!hp.enabled());
+        hp.alloc(0, 7, 64);
+        hp.reweight(0, 7, 64, 96);
+        hp.free(0, 7, 96);
+        hp.record_trigger(TriggerCause::HeapBytes);
+        hp.begin_episode();
+        assert_eq!(hp.close_cycle(1), CycleHeap::default());
+        assert_eq!(hp.live_bytes(), 0);
+        assert_eq!(hp.peak_bytes(), 0);
+        assert!(hp.snapshot().is_empty());
+    }
+
     #[test]
     fn instrumented_pass_records_nothing() {
         let telem = Registry::new(4);
@@ -178,6 +199,29 @@ mod feature_on {
         let s = lc.snapshot();
         assert_eq!(s.latency_max, 3);
         assert_eq!(s.float_now, 0);
+    }
+
+    /// The same tracker API, feature-on: an allocation stamps its byte
+    /// weight, the clocks move, and the eventual free is exact.
+    #[test]
+    fn heap_tracker_records_exact_byte_traffic() {
+        use dgr_telemetry::{HeapTracker, TriggerCause};
+        let mut hp = HeapTracker::new(2);
+        assert!(hp.enabled());
+        hp.alloc(1, 7, 64);
+        hp.reweight(1, 7, 64, 96);
+        assert_eq!(hp.live_bytes(), 96);
+        assert_eq!(hp.peak_bytes(), 96);
+        hp.free(1, 7, 96);
+        hp.record_trigger(TriggerCause::HeapBytes);
+        let cy = hp.close_cycle(1);
+        assert_eq!(cy.exact_bytes, 96, "the stamp followed the reweight");
+        assert_eq!(cy.peak, 96);
+        assert_eq!(cy.live_end, 0);
+        let s = hp.snapshot();
+        assert_eq!(s.alloc_bytes, 96, "64 allocated + 32 growth");
+        assert_eq!(s.per_pe[1].peak, 96);
+        assert_eq!(s.trigger_heap, 1);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use dgr_reduction::{RedMsg, RunOutcome, System};
 use dgr_sim::Lane;
 use dgr_telemetry::{
     CounterId, CycleReport as CycleTelemetry, HeartbeatHandle, LifecycleSnapshot, LifecycleTracker,
-    Phase,
+    Phase, TriggerCause,
 };
 
 use crate::classify::{classify_pending_tasks, deadlocked_vertices, garbage_vertices};
@@ -37,11 +37,68 @@ pub enum CycleOrder {
     RBeforeT,
 }
 
+/// What starts a marking cycle.
+///
+/// The paper runs the collector "continuously"; this engine quantizes
+/// that into cycles and lets the start condition couple to heap
+/// pressure. The byte clock consulted is [`GraphStore::live_bytes`] —
+/// always on, so pressure triggering works without the `telemetry`
+/// feature.
+///
+/// [`GraphStore::live_bytes`]: dgr_graph::GraphStore::live_bytes
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcTrigger {
+    /// Every [`GcConfig::period`] reduction events (the historical
+    /// behavior, and the default).
+    Period,
+    /// The moment live heap bytes reach the bound. A run that never
+    /// reaches it only cycles when the mutator drains.
+    HeapBytes(u64),
+    /// Whichever of the two fires first each inter-cycle window.
+    Either(u64),
+}
+
+impl GcTrigger {
+    /// The byte bound, if this trigger watches one.
+    pub fn heap_bound(self) -> Option<u64> {
+        match self {
+            GcTrigger::Period => None,
+            GcTrigger::HeapBytes(b) | GcTrigger::Either(b) => Some(b),
+        }
+    }
+
+    /// Checks the trigger against the current inter-cycle window: `n`
+    /// events delivered since the last cycle, `live` bytes on the heap.
+    /// Returns why a cycle should start now, or `None` to keep reducing.
+    /// The driver consults this only after at least one delivery, so a
+    /// bound below the irreducible live set degrades to one cycle per
+    /// reduction event instead of a cycle storm that starves the
+    /// mutator. (Public so bench harnesses that drive cycles manually —
+    /// to drain the event ring per cycle — match the driver exactly.)
+    pub fn fired(self, n: u64, period: u64, live: u64) -> Option<TriggerCause> {
+        match self {
+            GcTrigger::Period => (n >= period).then_some(TriggerCause::Period),
+            GcTrigger::HeapBytes(b) => (live >= b).then_some(TriggerCause::HeapBytes),
+            GcTrigger::Either(b) => {
+                if live >= b {
+                    Some(TriggerCause::HeapBytes)
+                } else {
+                    (n >= period).then_some(TriggerCause::Period)
+                }
+            }
+        }
+    }
+}
+
 /// Configuration of the GC driver.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GcConfig {
     /// Reduction events delivered between cycles.
     pub period: u64,
+    /// What starts a cycle (see [`GcTrigger`]). [`GcTrigger::Period`]
+    /// consults `period`; the byte-bound variants consult the graph's
+    /// always-on live-bytes clock.
+    pub trigger: GcTrigger,
     /// Run `M_T` every this many cycles (`1` = every cycle; the paper's
     /// Section 6 suggests running it only occasionally since it exists
     /// solely for deadlock detection). `0` disables `M_T` entirely.
@@ -74,6 +131,7 @@ impl Default for GcConfig {
     fn default() -> Self {
         GcConfig {
             period: 200,
+            trigger: GcTrigger::Period,
             mt_every: 1,
             order: CycleOrder::TBeforeR,
             reclaim: true,
@@ -176,7 +234,20 @@ impl GcDriver {
     pub fn run_more(&mut self) -> RunOutcome {
         loop {
             let mut n = 0;
-            while n < self.cfg.period && self.sys.result.is_none() {
+            let mut cause = None;
+            while self.sys.result.is_none() {
+                // Consult the trigger only after a delivery: a byte bound
+                // the collector cannot get back under must still let the
+                // mutator make progress between cycles.
+                if n > 0 {
+                    cause = self
+                        .cfg
+                        .trigger
+                        .fired(n, self.cfg.period, self.sys.graph.live_bytes());
+                    if cause.is_some() {
+                        break;
+                    }
+                }
                 if !self.sys.step() {
                     break;
                 }
@@ -186,7 +257,9 @@ impl GcDriver {
                 return RunOutcome::Value(v.clone());
             }
             let was_quiescent = self.sys.sim().is_empty();
-            self.run_cycle();
+            // A drained mutator still gets its cycle (quiescence and
+            // deadlock detection need one); charge it to the period.
+            self.run_cycle_as(cause.unwrap_or(TriggerCause::Period));
             if let Some(v) = &self.sys.result {
                 return RunOutcome::Value(v.clone());
             }
@@ -202,9 +275,18 @@ impl GcDriver {
     }
 
     /// Runs one complete mark-and-restructure cycle, concurrently with any
-    /// pending reduction work. Returns the cycle's report.
+    /// pending reduction work. Returns the cycle's report. A directly
+    /// invoked cycle is charged to the period trigger.
     pub fn run_cycle(&mut self) -> CycleReport {
+        self.run_cycle_as(TriggerCause::Period)
+    }
+
+    /// [`run_cycle`](Self::run_cycle), tagged with what started it. The
+    /// cause lands in the heap tracker's tallies and the per-cycle
+    /// `hp_cause` instant.
+    pub fn run_cycle_as(&mut self, cause: TriggerCause) -> CycleReport {
         self.cycle += 1;
+        self.sys.heap_tracker_mut().record_trigger(cause);
         // Flow events recorded during this cycle's marking waves carry
         // the cycle number, so a trace analyzer can group the wave DAG
         // per cycle.
@@ -317,6 +399,7 @@ impl GcDriver {
             - snap0.counter_total(CounterId::SendsRemote);
         self.emit_restructure_tallies(&mut telem, &report);
         self.close_lifecycle_cycle(&report, lc_mt, lc_mr);
+        self.close_heap_cycle(cause);
         if self.timeline.len() == TIMELINE_CAP {
             self.timeline.pop_front();
         }
@@ -389,6 +472,37 @@ impl GcDriver {
                 let packed = (u64::from(idx) << 16) | age.min(0xFFFF);
                 reg.instant(0, self.cycle, Phase::Gc, "lc_floater", packed);
             }
+        }
+    }
+
+    /// Closes the cycle's heap window and emits the per-cycle `hp_*`
+    /// instants `dgr-trace heap` folds back into the live/peak/cause
+    /// table. Restructure frees the garbage set directly on the graph —
+    /// bypassing dispatch — so the journal is drained here first; the
+    /// window then carries every byte the cycle reclaimed.
+    fn close_heap_cycle(&mut self, cause: TriggerCause) {
+        self.sys.drain_heap_journal();
+        let ch = self
+            .sys
+            .heap_tracker_mut()
+            .close_cycle(u64::from(self.cycle));
+        let reg = self.sys.telemetry();
+        if reg.enabled() {
+            reg.instant(0, self.cycle, Phase::Gc, "hp_cause", cause.code());
+            reg.instant(
+                0,
+                self.cycle,
+                Phase::Gc,
+                "hp_bound",
+                self.cfg.trigger.heap_bound().unwrap_or(0),
+            );
+            reg.instant(0, self.cycle, Phase::Gc, "hp_live", ch.live_end);
+            reg.instant(0, self.cycle, Phase::Gc, "hp_peak", ch.peak);
+            reg.instant(0, self.cycle, Phase::Gc, "hp_alloc_bytes", ch.alloc_bytes);
+            reg.instant(0, self.cycle, Phase::Gc, "hp_freed_bytes", ch.freed_bytes);
+            reg.instant(0, self.cycle, Phase::Gc, "hp_allocs", ch.allocs);
+            reg.instant(0, self.cycle, Phase::Gc, "hp_frees", ch.frees);
+            reg.instant(0, self.cycle, Phase::Gc, "hp_exact_bytes", ch.exact_bytes);
         }
     }
 
@@ -733,6 +847,128 @@ mod tests {
         assert!(gc.stats().reclaimed_total > 0, "garbage was reclaimed");
         assert_eq!(gc.stats().aborted_cycles, 0);
         assert!(gc.sys.graph.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn heap_pressure_triggers_cycles_in_any_build() {
+        // The pressure trigger reads the graph's always-on byte clock, so
+        // it must work with telemetry compiled out. A tight bound under a
+        // period far too long to ever fire: every cycle is pressure-born.
+        let sys = sum_system(40, SystemConfig::default());
+        let baseline_live = sys.graph.live_bytes();
+        let mut gc = GcDriver::new(
+            sys,
+            GcConfig {
+                period: u64::MAX,
+                trigger: GcTrigger::Either(baseline_live + 64),
+                ..Default::default()
+            },
+        );
+        assert_eq!(gc.run(), RunOutcome::Value(Value::Int(820)));
+        assert!(
+            gc.stats().cycles > 1,
+            "pressure alone started {} cycles",
+            gc.stats().cycles
+        );
+        assert!(gc.stats().reclaimed_total > 0);
+    }
+
+    #[test]
+    fn an_unreachable_heap_bound_still_makes_progress() {
+        // A bound below the irreducible live set: the trigger fires every
+        // window, but only after at least one delivery, so the mutator
+        // still reaches the value instead of starving under cycles.
+        let sys = sum_system(10, SystemConfig::default());
+        let mut gc = GcDriver::new(
+            sys,
+            GcConfig {
+                period: u64::MAX,
+                trigger: GcTrigger::HeapBytes(1),
+                ..Default::default()
+            },
+        );
+        assert_eq!(gc.run(), RunOutcome::Value(Value::Int(55)));
+    }
+
+    #[test]
+    fn tighter_heap_bounds_mean_more_cycles_and_lower_peaks() {
+        // The coupling the observatory exists to measure, at unit scale:
+        // tightening the byte bound trades marking work for heap headroom.
+        let mut cycles = Vec::new();
+        for bound in [600u64, 6_000] {
+            let sys = sum_system(30, SystemConfig::default());
+            let mut gc = GcDriver::new(
+                sys,
+                GcConfig {
+                    period: u64::MAX,
+                    trigger: GcTrigger::Either(bound),
+                    ..Default::default()
+                },
+            );
+            assert_eq!(gc.run(), RunOutcome::Value(Value::Int(465)));
+            cycles.push(gc.stats().cycles);
+        }
+        assert!(cycles[0] > cycles[1], "tight bound cycled more: {cycles:?}");
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn heap_cycles_stamp_causes_and_instants() {
+        let sys = sum_system(40, SystemConfig::default());
+        let baseline_live = sys.graph.live_bytes();
+        let mut gc = GcDriver::new(
+            sys,
+            GcConfig {
+                period: 50,
+                trigger: GcTrigger::Either(baseline_live + 128),
+                ..Default::default()
+            },
+        );
+        gc.run();
+        let s = gc.sys.heap_snapshot();
+        assert_eq!(
+            s.trigger_period + s.trigger_heap,
+            u64::from(gc.stats().cycles),
+            "every cycle carries exactly one cause"
+        );
+        assert!(s.trigger_heap > 0, "the tight bound fired at least once");
+        assert_eq!(s.cycles, u64::from(gc.stats().cycles));
+        // Restructure frees (which bypass dispatch) were drained into the
+        // tracker: its clock agrees with the graph's.
+        assert_eq!(s.live, gc.sys.graph.live_bytes());
+        assert_eq!(
+            s.exact_bytes, s.freed_bytes,
+            "driver-attached tracker stamps every byte it frees"
+        );
+        let events = gc.sys.telemetry().drain_events();
+        for name in [
+            "hp_cause",
+            "hp_bound",
+            "hp_live",
+            "hp_peak",
+            "hp_alloc_bytes",
+            "hp_freed_bytes",
+            "hp_exact_bytes",
+        ] {
+            assert!(events.iter().any(|e| e.name == name), "missing {name}");
+        }
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn heap_tracking_is_silent_feature_off() {
+        let sys = sum_system(30, SystemConfig::default());
+        let mut gc = GcDriver::new(
+            sys,
+            GcConfig {
+                period: 40,
+                trigger: GcTrigger::Either(600),
+                ..Default::default()
+            },
+        );
+        gc.run();
+        assert!(gc.sys.heap_snapshot().is_empty());
+        assert!(!gc.sys.heap_tracker().enabled());
     }
 
     #[test]

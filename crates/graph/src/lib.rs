@@ -68,7 +68,9 @@ pub use ids::{PeId, VertexId};
 pub use label::{NodeLabel, PrimOp};
 pub use markword::MarkWords;
 pub use oracle::{Oracle, TaskClass, TaskEndpoints, VertexSet};
-pub use store::{Epochs, GraphStore, PartitionMap, PartitionStrategy};
+pub use store::{
+    default_cost_model, CostModel, Epochs, GraphStore, HeapDelta, PartitionMap, PartitionStrategy,
+};
 pub use template::{Template, TemplateNode, TemplateRef};
 pub use value::Value;
 pub use vertex::{Color, MarkParent, MarkSlot, Priority, RequestKind, Requester, Slot, Vertex};

@@ -74,6 +74,67 @@ impl PartitionMap {
     }
 }
 
+/// A pluggable per-vertex byte-cost model: maps a label to the number of
+/// bytes the vertex is modeled to occupy in its PE's local store.
+///
+/// The store charges the model once at allocation time and remembers the
+/// result in a SoA weights array, so later in-place label overwrites (a
+/// reduction rewriting a vertex to an indirection) keep the allocation-time
+/// weight until the vertex is freed or explicitly
+/// [reweighted](GraphStore::set_vertex_weight). ROADMAP item 3's weighted
+/// task trees plug in their own model via
+/// [`GraphStore::set_cost_model`].
+pub type CostModel = fn(&NodeLabel) -> u32;
+
+/// The default arity-derived cost model: a fixed per-vertex base plus one
+/// arc slot per argument the label naturally takes (`Prim` → its operator
+/// arity, `If` → 3, `Cons`/`Apply` → 2, `Ind` → 1, `Lit`/`Hole` → 0).
+pub fn default_cost_model(label: &NodeLabel) -> u32 {
+    /// Modeled size of the vertex header (label, marks, stamps).
+    const BASE: u32 = 16;
+    /// Modeled size of one outgoing arc slot.
+    const ARC: u32 = 8;
+    let arity = match label {
+        NodeLabel::Prim(op) => op.arity(),
+        NodeLabel::If => 3,
+        NodeLabel::Cons | NodeLabel::Apply => 2,
+        NodeLabel::Ind => 1,
+        NodeLabel::Lit(_) | NodeLabel::Hole => 0,
+    };
+    BASE + ARC * arity as u32
+}
+
+/// One byte-accounting event, journaled by the store when
+/// [`GraphStore::set_heap_journal`] is on so an external observer (the
+/// telemetry heap tracker) can replay allocation traffic without hooking
+/// every call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapDelta {
+    /// A vertex left the free list carrying `bytes` modeled bytes.
+    Alloc {
+        /// The allocated vertex.
+        id: VertexId,
+        /// Its modeled byte weight at allocation time.
+        bytes: u32,
+    },
+    /// A vertex returned to the free list, releasing `bytes`.
+    Free {
+        /// The freed vertex.
+        id: VertexId,
+        /// The modeled byte weight it released.
+        bytes: u32,
+    },
+    /// A live vertex's weight was explicitly changed.
+    Reweight {
+        /// The reweighted vertex.
+        id: VertexId,
+        /// The weight before the change.
+        old: u32,
+        /// The weight after the change.
+        new: u32,
+    },
+}
+
 /// The store-wide epoch counters that implement O(1) lazy resets: one
 /// marking epoch per [`Slot`] and one touch epoch for the task-activity
 /// stamps. Epochs start at 1 so the all-zero state of a fresh vertex is
@@ -123,6 +184,19 @@ pub struct GraphStore {
     free: Vec<VertexId>,
     root: Option<VertexId>,
     epochs: Epochs,
+    /// Modeled byte weight per vertex slot (SoA, parallel to `verts`);
+    /// free slots weigh 0.
+    weights: Vec<u32>,
+    /// Sum of the weights of all live vertices.
+    live_bytes: u64,
+    /// Cumulative bytes ever charged by allocations (and upward
+    /// reweights); never decreases.
+    alloc_bytes_total: u64,
+    /// The cost model charged at allocation time.
+    cost_model: CostModel,
+    /// Byte-accounting journal, appended only while `journal_on`.
+    journal: Vec<HeapDelta>,
+    journal_on: bool,
 }
 
 impl GraphStore {
@@ -140,10 +214,16 @@ impl GraphStore {
         // which keeps examples and tests readable.
         free.reverse();
         GraphStore {
+            weights: vec![0; capacity],
             verts,
             free,
             root: None,
             epochs: Epochs::default(),
+            live_bytes: 0,
+            alloc_bytes_total: 0,
+            cost_model: default_cost_model,
+            journal: Vec::new(),
+            journal_on: false,
         }
     }
 
@@ -159,6 +239,7 @@ impl GraphStore {
             let mut v = Vertex::default();
             v.in_free_list = true;
             self.verts.push(v);
+            self.weights.push(0);
             self.free.push(VertexId::new((start + i) as u32));
         }
     }
@@ -173,9 +254,11 @@ impl GraphStore {
             requested: 1,
             available: 0,
         })?;
+        let bytes = (self.cost_model)(&label);
         let v = &mut self.verts[id.index()];
         debug_assert!(v.in_free_list);
         *v = Vertex::new(label);
+        self.charge_alloc(id, bytes);
         Ok(id)
     }
 
@@ -192,10 +275,12 @@ impl GraphStore {
                 available: self.free.len(),
             });
         }
+        let bytes = (self.cost_model)(&NodeLabel::Hole);
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             let id = self.free.pop().expect("checked length");
             self.verts[id.index()] = Vertex::new(NodeLabel::Hole);
+            self.charge_alloc(id, bytes);
             out.push(id);
         }
         Ok(out)
@@ -213,6 +298,90 @@ impl GraphStore {
         v.clear_for_free();
         v.in_free_list = true;
         self.free.push(id);
+        let bytes = std::mem::take(&mut self.weights[id.index()]);
+        self.live_bytes -= u64::from(bytes);
+        if self.journal_on {
+            self.journal.push(HeapDelta::Free { id, bytes });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Byte-weighted allocation accounting. Every allocation charges the
+    // cost model once; the result lives in a SoA weights array so the
+    // running live-bytes clock is one add per alloc and one subtract per
+    // free — cheap enough to stay on in every build, which is what lets
+    // `GcTrigger::HeapBytes` work with telemetry compiled out.
+    // ------------------------------------------------------------------
+
+    fn charge_alloc(&mut self, id: VertexId, bytes: u32) {
+        self.weights[id.index()] = bytes;
+        self.live_bytes += u64::from(bytes);
+        self.alloc_bytes_total += u64::from(bytes);
+        if self.journal_on {
+            self.journal.push(HeapDelta::Alloc { id, bytes });
+        }
+    }
+
+    /// Sum of the modeled byte weights of all live vertices.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Cumulative bytes ever charged by allocations and upward
+    /// reweights (never decreases).
+    pub fn alloc_bytes_total(&self) -> u64 {
+        self.alloc_bytes_total
+    }
+
+    /// The modeled byte weight of vertex `id` (0 for free slots).
+    pub fn vertex_bytes(&self, id: VertexId) -> u32 {
+        self.weights[id.index()]
+    }
+
+    /// Explicitly reweights live vertex `id` to `bytes`, adjusting the
+    /// live-bytes clock by the difference. Upward reweights also count
+    /// toward [`GraphStore::alloc_bytes_total`] (they model growth).
+    /// No-op on a free slot.
+    pub fn set_vertex_weight(&mut self, id: VertexId, bytes: u32) {
+        if self.verts[id.index()].in_free_list {
+            return;
+        }
+        let old = std::mem::replace(&mut self.weights[id.index()], bytes);
+        self.live_bytes = self.live_bytes - u64::from(old) + u64::from(bytes);
+        self.alloc_bytes_total += u64::from(bytes.saturating_sub(old));
+        if self.journal_on && old != bytes {
+            self.journal.push(HeapDelta::Reweight {
+                id,
+                old,
+                new: bytes,
+            });
+        }
+    }
+
+    /// Installs a different cost model for *future* allocations.
+    /// Weights already charged keep their allocation-time values.
+    pub fn set_cost_model(&mut self, model: CostModel) {
+        self.cost_model = model;
+    }
+
+    /// Turns the byte-accounting journal on or off. While on, every
+    /// alloc/free/reweight appends a [`HeapDelta`]; the observer drains
+    /// them with [`GraphStore::take_heap_journal`].
+    pub fn set_heap_journal(&mut self, on: bool) {
+        self.journal_on = on;
+        if !on {
+            self.journal.clear();
+        }
+    }
+
+    /// Drains and returns the accumulated heap journal.
+    pub fn take_heap_journal(&mut self) -> Vec<HeapDelta> {
+        std::mem::take(&mut self.journal)
+    }
+
+    /// Whether any journal entries are waiting to be drained.
+    pub fn heap_journal_pending(&self) -> bool {
+        !self.journal.is_empty()
     }
 
     /// Shared access to a vertex.
@@ -374,7 +543,10 @@ impl GraphStore {
 
     /// Rebuilds a store from parts produced by [`GraphStore::into_parts`]
     /// (or assembled by a parallel runtime). Free-list flags are
-    /// resynchronized from the `free` vector.
+    /// resynchronized from the `free` vector, and byte weights are
+    /// re-derived from each live vertex's current label under the
+    /// *default* cost model (the parts carry no model, and a rebuilt
+    /// store restarts its allocation accounting).
     pub fn from_parts(
         mut verts: Vec<Vertex>,
         free: Vec<VertexId>,
@@ -387,11 +559,25 @@ impl GraphStore {
         for &id in &free {
             verts[id.index()].in_free_list = true;
         }
+        let mut weights = vec![0u32; verts.len()];
+        let mut live_bytes = 0u64;
+        for (w, v) in weights.iter_mut().zip(verts.iter()) {
+            if !v.in_free_list {
+                *w = default_cost_model(&v.label);
+                live_bytes += u64::from(*w);
+            }
+        }
         GraphStore {
             verts,
             free,
             root,
             epochs,
+            weights,
+            live_bytes,
+            alloc_bytes_total: live_bytes,
+            cost_model: default_cost_model,
+            journal: Vec::new(),
+            journal_on: false,
         }
     }
 
@@ -420,6 +606,30 @@ impl GraphStore {
                 "free-list length {} disagrees with {} flagged vertices",
                 self.free.len(),
                 free_flags
+            ));
+        }
+        if self.weights.len() != self.verts.len() {
+            return Err(format!(
+                "weights array length {} disagrees with {} vertices",
+                self.weights.len(),
+                self.verts.len()
+            ));
+        }
+        let mut live_bytes = 0u64;
+        for id in self.ids() {
+            let w = self.weights[id.index()];
+            if self.is_free(id) {
+                if w != 0 {
+                    return Err(format!("{id}: free slot carries weight {w}"));
+                }
+            } else {
+                live_bytes += u64::from(w);
+            }
+        }
+        if live_bytes != self.live_bytes {
+            return Err(format!(
+                "live-bytes clock {} disagrees with summed weights {live_bytes}",
+                self.live_bytes
             ));
         }
         Ok(())
@@ -587,6 +797,104 @@ mod tests {
         assert_eq!(g2.mark_epoch(Slot::R), epoch);
         // The stale pre-reset mark stays invisible after the roundtrip.
         assert!(g2.mark(a, Slot::R).is_unmarked());
+    }
+
+    #[test]
+    fn byte_accounting_tracks_alloc_and_free() {
+        let mut g = GraphStore::with_capacity(4);
+        assert_eq!(g.live_bytes(), 0);
+        let a = g.alloc(NodeLabel::Prim(PrimOp::Add)).unwrap(); // 16 + 2*8
+        let b = g.alloc(NodeLabel::lit_int(7)).unwrap(); // 16 + 0
+        assert_eq!(g.vertex_bytes(a), 32);
+        assert_eq!(g.vertex_bytes(b), 16);
+        assert_eq!(g.live_bytes(), 48);
+        assert_eq!(g.alloc_bytes_total(), 48);
+        g.free(a);
+        assert_eq!(g.vertex_bytes(a), 0);
+        assert_eq!(g.live_bytes(), 16);
+        assert_eq!(g.alloc_bytes_total(), 48, "cumulative never decreases");
+        // Double free charges nothing twice.
+        g.free(a);
+        assert_eq!(g.live_bytes(), 16);
+        assert!(g.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn reweight_adjusts_the_clock_and_respects_free_slots() {
+        let mut g = GraphStore::with_capacity(2);
+        let a = g.alloc(NodeLabel::If).unwrap(); // 16 + 3*8 = 40
+        g.set_vertex_weight(a, 100);
+        assert_eq!(g.live_bytes(), 100);
+        assert_eq!(g.alloc_bytes_total(), 100, "upward reweight charged");
+        g.set_vertex_weight(a, 10);
+        assert_eq!(g.live_bytes(), 10);
+        assert_eq!(g.alloc_bytes_total(), 100, "downward reweight is free");
+        g.free(a);
+        g.set_vertex_weight(a, 999);
+        assert_eq!(g.live_bytes(), 0, "reweighting a free slot is a no-op");
+        assert!(g.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn pluggable_cost_model_applies_to_future_allocs() {
+        fn flat(_: &NodeLabel) -> u32 {
+            64
+        }
+        let mut g = GraphStore::with_capacity(2);
+        let a = g.alloc(NodeLabel::Cons).unwrap();
+        g.set_cost_model(flat);
+        let b = g.alloc(NodeLabel::Cons).unwrap();
+        assert_eq!(g.vertex_bytes(a), 32, "existing weight untouched");
+        assert_eq!(g.vertex_bytes(b), 64);
+    }
+
+    #[test]
+    fn journal_replays_the_byte_traffic() {
+        let mut g = GraphStore::with_capacity(3);
+        let silent = g.alloc(NodeLabel::Hole).unwrap();
+        g.set_heap_journal(true);
+        assert!(!g.heap_journal_pending());
+        let a = g.alloc(NodeLabel::Ind).unwrap(); // 16 + 8
+        g.set_vertex_weight(a, 30);
+        g.set_vertex_weight(a, 30); // no change, no entry
+        g.free(a);
+        g.free(silent);
+        let j = g.take_heap_journal();
+        assert_eq!(
+            j,
+            vec![
+                HeapDelta::Alloc { id: a, bytes: 24 },
+                HeapDelta::Reweight {
+                    id: a,
+                    old: 24,
+                    new: 30
+                },
+                HeapDelta::Free { id: a, bytes: 30 },
+                HeapDelta::Free {
+                    id: silent,
+                    bytes: 16
+                },
+            ]
+        );
+        assert!(!g.heap_journal_pending());
+        g.set_heap_journal(false);
+        let _ = g.alloc(NodeLabel::Hole).unwrap();
+        assert!(!g.heap_journal_pending(), "journal off records nothing");
+    }
+
+    #[test]
+    fn from_parts_rederives_weights_from_labels() {
+        let mut g = GraphStore::with_capacity(3);
+        let a = g.alloc(NodeLabel::If).unwrap();
+        let b = g.alloc(NodeLabel::lit_int(1)).unwrap();
+        g.free(b);
+        g.set_vertex_weight(a, 7); // custom weight is NOT carried by parts
+        let (verts, free, root, epochs) = g.into_parts();
+        let g2 = GraphStore::from_parts(verts, free, root, epochs);
+        assert_eq!(g2.vertex_bytes(a), 40, "re-derived from the If label");
+        assert_eq!(g2.live_bytes(), 40);
+        assert_eq!(g2.alloc_bytes_total(), 40);
+        assert!(g2.check_consistency().is_ok());
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use dgr_telemetry::heartbeat::Heartbeat;
-use dgr_telemetry::{Event, HeartbeatHandle, LifecycleSnapshot, MetricsSnapshot};
+use dgr_telemetry::{Event, HeapSnapshot, HeartbeatHandle, LifecycleSnapshot, MetricsSnapshot};
 
 /// Bound on the event tail kept for watchdog flight dumps.
 pub const EVENT_TAIL_CAP: usize = 4096;
@@ -87,6 +87,7 @@ pub struct ObserveHub {
     census: Mutex<CensusSnapshot>,
     gc: Mutex<GcProgress>,
     lifecycle: Mutex<LifecycleSnapshot>,
+    heap: Mutex<HeapSnapshot>,
     dot: Mutex<String>,
     events: Mutex<VecDeque<Event>>,
     health: Mutex<Health>,
@@ -111,6 +112,7 @@ impl ObserveHub {
             census: Mutex::new(CensusSnapshot::default()),
             gc: Mutex::new(GcProgress::default()),
             lifecycle: Mutex::new(LifecycleSnapshot::default()),
+            heap: Mutex::new(HeapSnapshot::default()),
             dot: Mutex::new(String::new()),
             events: Mutex::new(VecDeque::new()),
             health: Mutex::new(Health::Ok),
@@ -180,6 +182,17 @@ impl ObserveHub {
             .lock()
             .expect("hub lifecycle poisoned")
             .clone()
+    }
+
+    /// Publishes the latest heap snapshot (`System::heap_snapshot`,
+    /// copied out once per cycle like the metrics snapshot).
+    pub fn publish_heap(&self, snap: HeapSnapshot) {
+        *self.heap.lock().expect("hub heap poisoned") = snap;
+    }
+
+    /// The most recently published heap snapshot.
+    pub fn heap(&self) -> HeapSnapshot {
+        self.heap.lock().expect("hub heap poisoned").clone()
     }
 
     /// Publishes a bounded DOT snapshot of the live graph.

@@ -183,6 +183,80 @@ fn render_lifecycle(out: &mut String, hub: &ObserveHub) {
     let _ = writeln!(out, "dgr_gc_marking_efficiency {:.4}", lc.efficiency());
 }
 
+/// Renders the heap-observatory families published by the system: per-PE
+/// live/peak byte clocks, allocation meters, the allocation-size
+/// histogram, and the trigger-cause tallies.
+fn render_heap(out: &mut String, hub: &ObserveHub) {
+    let hp = hub.heap();
+    family(
+        out,
+        "dgr_heap_live_bytes",
+        "Bytes of live graph vertices owned by the PE right now",
+        "gauge",
+    );
+    for (pe, p) in hp.per_pe.iter().enumerate() {
+        let _ = writeln!(out, "dgr_heap_live_bytes{{pe=\"{pe}\"}} {}", p.live);
+    }
+    family(
+        out,
+        "dgr_heap_peak_bytes",
+        "Largest live-byte waterline the PE has reached this episode",
+        "gauge",
+    );
+    for (pe, p) in hp.per_pe.iter().enumerate() {
+        let _ = writeln!(out, "dgr_heap_peak_bytes{{pe=\"{pe}\"}} {}", p.peak);
+    }
+    family(
+        out,
+        "dgr_heap_alloc_bytes_total",
+        "Bytes ever allocated on the PE (cumulative, never decreases)",
+        "counter",
+    );
+    for (pe, p) in hp.per_pe.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "dgr_heap_alloc_bytes_total{{pe=\"{pe}\"}} {}",
+            p.alloc_bytes
+        );
+    }
+    let name = "dgr_heap_size_bytes";
+    family(
+        out,
+        name,
+        "Bytes per vertex allocation (merged over PEs)",
+        "histogram",
+    );
+    let mut cum = 0u64;
+    for i in 0..HIST_BUCKETS {
+        cum += hp.size[i];
+        let le = if i == HIST_BUCKETS - 1 {
+            "+Inf".to_string()
+        } else {
+            bucket_upper_edge(i).to_string()
+        };
+        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+    }
+    let _ = writeln!(out, "{name}_sum {}", hp.size_sum);
+    let _ = writeln!(out, "{name}_count {}", hp.size_count);
+    let h = HistSnapshot {
+        buckets: hp.size,
+        count: hp.size_count,
+        sum: hp.size_sum,
+        max: hp.size_max,
+    };
+    render_quantiles(out, name, &h);
+
+    family(
+        out,
+        "dgr_gc_trigger_total",
+        "Marking cycles started, by what fired the trigger",
+        "counter",
+    );
+    for (cause, v) in hp.triggers() {
+        let _ = writeln!(out, "dgr_gc_trigger_total{{cause=\"{cause}\"}} {v}");
+    }
+}
+
 fn render_quantiles(out: &mut String, name: &str, h: &HistSnapshot) {
     let qname = format!("{name}_quantile");
     family(
@@ -258,6 +332,7 @@ pub fn render(hub: &ObserveHub) -> String {
     }
 
     render_lifecycle(&mut out, hub);
+    render_heap(&mut out, hub);
 
     let hb = hub.heartbeat();
     family(

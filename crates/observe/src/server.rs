@@ -130,6 +130,25 @@ pub fn status_json(hub: &ObserveHub) -> String {
         mr,
         lc.efficiency(),
     );
+    let hp = hub.heap();
+    let _ = writeln!(
+        out,
+        "  \"heap\": {{\"live_bytes\": {}, \"peak_bytes\": {}, \"alloc_bytes\": {}, \
+         \"freed_bytes\": {}, \"allocs\": {}, \"frees\": {}, \"exact_fraction\": {:.4}, \
+         \"mean_alloc_bytes\": {:.2}, \"p99_alloc_bytes\": {}, \
+         \"trigger_period\": {}, \"trigger_heap\": {}}},",
+        hp.live,
+        hp.peak,
+        hp.alloc_bytes,
+        hp.freed_bytes,
+        hp.allocs,
+        hp.frees,
+        hp.exact_fraction(),
+        hp.mean_alloc_bytes(),
+        hp.size_quantile(0.99),
+        hp.trigger_period,
+        hp.trigger_heap,
+    );
     out.push_str("  \"mailboxes\": [\n");
     let n = snap.per_pe.len();
     for (pe, shard) in snap.per_pe.iter().enumerate() {
@@ -374,6 +393,43 @@ mod tests {
         assert!(s.contains("\"float_now\": 3"));
         assert!(s.contains("\"msgs_per_reclaimed_mr\": 4.000"));
         assert!(s.contains("\"marking_efficiency\": 0.8000"));
+    }
+
+    #[test]
+    fn status_json_carries_the_heap_summary() {
+        use dgr_telemetry::HeapSnapshot;
+        let hub = ObserveHub::new();
+        let s = status_json(&hub);
+        assert!(
+            s.contains("\"heap\": {\"live_bytes\": 0, \"peak_bytes\": 0"),
+            "got: {s}"
+        );
+        let mut size = [0u64; dgr_telemetry::HIST_BUCKETS];
+        size[6] = 4; // four 32..=63-byte allocations
+        hub.publish_heap(HeapSnapshot {
+            live: 96,
+            peak: 128,
+            alloc_bytes: 128,
+            freed_bytes: 32,
+            allocs: 4,
+            frees: 1,
+            exact_frees: 1,
+            exact_bytes: 32,
+            size,
+            size_count: 4,
+            size_sum: 128,
+            size_max: 32,
+            trigger_period: 2,
+            trigger_heap: 3,
+            cycles: 5,
+            ..Default::default()
+        });
+        let s = status_json(&hub);
+        assert!(s.contains("\"live_bytes\": 96"), "got: {s}");
+        assert!(s.contains("\"peak_bytes\": 128"));
+        assert!(s.contains("\"exact_fraction\": 1.0000"));
+        assert!(s.contains("\"mean_alloc_bytes\": 32.00"));
+        assert!(s.contains("\"trigger_heap\": 3"));
     }
 
     #[test]

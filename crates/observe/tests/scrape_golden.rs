@@ -15,7 +15,9 @@
 
 use dgr_observe::{render, CensusSnapshot, GcProgress, ObserveHub};
 use dgr_telemetry::active::Registry;
-use dgr_telemetry::{CounterId, GaugeId, HistId, LifecycleSnapshot, Phase, SchedState};
+use dgr_telemetry::{
+    CounterId, GaugeId, HeapSnapshot, HistId, LifecycleSnapshot, PeHeap, Phase, SchedState,
+};
 
 /// A hub with every section populated: a 2-PE snapshot with counter,
 /// gauge and histogram traffic, scheduler state clocks and steal-victim
@@ -76,6 +78,46 @@ fn populated_hub() -> ObserveHub {
     lc.latency[2] = 3;
     lc.float_age[0] = 2;
     hub.publish_lifecycle(lc);
+    // A heap snapshot with every family non-trivial: two PEs holding
+    // live bytes, four 32-byte allocations (one freed exactly), and
+    // cycles under both trigger causes.
+    let mut hp = HeapSnapshot {
+        live: 96,
+        peak: 128,
+        alloc_bytes: 128,
+        freed_bytes: 32,
+        allocs: 4,
+        frees: 1,
+        exact_frees: 1,
+        exact_bytes: 32,
+        size_count: 4,
+        size_sum: 128,
+        size_max: 32,
+        trigger_period: 2,
+        trigger_heap: 3,
+        cycles: 5,
+        ..Default::default()
+    };
+    hp.size[6] = 4; // 32 lands in the 32..=63 bucket
+    hp.per_pe = vec![
+        PeHeap {
+            live: 64,
+            peak: 96,
+            alloc_bytes: 96,
+            free_bytes: 32,
+            allocs: 3,
+            frees: 1,
+        },
+        PeHeap {
+            live: 32,
+            peak: 32,
+            alloc_bytes: 32,
+            free_bytes: 0,
+            allocs: 1,
+            frees: 0,
+        },
+    ];
+    hub.publish_heap(hp);
     hub.heartbeat().begin_phase(12, Phase::Mr);
     hub.heartbeat().progress(99);
     hub
@@ -206,6 +248,12 @@ fn families_follow_the_fixed_enum_order() {
         "# TYPE dgr_gc_float_count gauge",
         "# TYPE dgr_gc_msgs_per_reclaimed gauge",
         "# TYPE dgr_gc_marking_efficiency gauge",
+        "# TYPE dgr_heap_live_bytes gauge",
+        "# TYPE dgr_heap_peak_bytes gauge",
+        "# TYPE dgr_heap_alloc_bytes_total counter",
+        "# TYPE dgr_heap_size_bytes histogram",
+        "# TYPE dgr_heap_size_bytes_quantile gauge",
+        "# TYPE dgr_gc_trigger_total counter",
         "# TYPE dgr_heartbeat_cycle gauge",
         "# TYPE dgr_watchdog_healthy gauge",
         "# TYPE dgr_scrapes_total counter",
@@ -269,6 +317,18 @@ fn samples_carry_the_published_values() {
     assert!(text.contains("dgr_gc_msgs_per_reclaimed{kind=\"mt\"} 2.500\n"));
     assert!(text.contains("dgr_gc_msgs_per_reclaimed{kind=\"mr\"} 7.500\n"));
     assert!(text.contains("dgr_gc_marking_efficiency 0.8000\n"));
+    assert!(text.contains("dgr_heap_live_bytes{pe=\"0\"} 64\n"));
+    assert!(text.contains("dgr_heap_live_bytes{pe=\"1\"} 32\n"));
+    assert!(text.contains("dgr_heap_peak_bytes{pe=\"0\"} 96\n"));
+    assert!(text.contains("dgr_heap_alloc_bytes_total{pe=\"1\"} 32\n"));
+    assert!(text.contains("dgr_heap_size_bytes_bucket{le=\"63\"} 4\n"));
+    assert!(text.contains("dgr_heap_size_bytes_bucket{le=\"+Inf\"} 4\n"));
+    assert!(text.contains("dgr_heap_size_bytes_sum 128\n"));
+    assert!(text.contains("dgr_heap_size_bytes_count 4\n"));
+    // Interpolated within the 32..=63 bucket: 32 + round(31 * 0.5).
+    assert!(text.contains("dgr_heap_size_bytes_quantile{q=\"0.5\"} 48\n"));
+    assert!(text.contains("dgr_gc_trigger_total{cause=\"period\"} 2\n"));
+    assert!(text.contains("dgr_gc_trigger_total{cause=\"heap\"} 3\n"));
     assert!(text.contains("dgr_heartbeat_cycle 12\n"));
     assert!(text.contains("dgr_heartbeat_phase_active 1\n"));
     assert!(text.contains("dgr_heartbeat_progress_total 99\n"));

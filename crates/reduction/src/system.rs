@@ -1,12 +1,13 @@
 //! A complete reduction system on the deterministic simulator.
 
 use dgr_core::{handle_mark, MarkMsg, MarkState};
+use dgr_graph::HeapDelta;
 use dgr_graph::{
     GraphStore, PartitionMap, PartitionStrategy, Priority, RequestKind, Requester, Slot,
     TaskEndpoints, Value,
 };
 use dgr_sim::{DetSim, Envelope, Lane, SchedPolicy};
-use dgr_telemetry::{CounterId, Phase, Registry};
+use dgr_telemetry::{CounterId, HeapSnapshot, HeapTracker, Phase, Registry};
 
 use crate::engine::{handle_red, EngineCtx};
 use crate::msg::{RedMsg, SysMsg};
@@ -96,6 +97,10 @@ pub struct System {
     /// it at the start of each cycle so the causal trace of the marking
     /// wave groups by cycle.
     telem_cycle: u32,
+    /// Heap tracker (the zero-sized no-op unless the `telemetry` feature
+    /// is on): per-PE live-bytes clocks, waterlines and size classes,
+    /// fed from the graph store's byte journal after every dispatch.
+    heap: HeapTracker,
 }
 
 /// Phase tag and flow-event name of a marking message, by slot: the
@@ -111,9 +116,25 @@ fn mark_flow_meta(m: &MarkMsg) -> (Phase, &'static str) {
 
 impl System {
     /// Creates a system over the given graph and templates.
-    pub fn new(graph: GraphStore, templates: TemplateStore, config: SystemConfig) -> Self {
+    pub fn new(mut graph: GraphStore, templates: TemplateStore, config: SystemConfig) -> Self {
         let sim = DetSim::new(config.num_pes, config.policy, config.seed);
         let telem = Registry::new(config.num_pes);
+        let mut heap = HeapTracker::new(config.num_pes as usize);
+        if heap.enabled() {
+            // Stamp everything the builder phase allocated before the
+            // tracker existed, so later reclaims of those vertices still
+            // carry exact byte stamps, then journal all future traffic.
+            let pm = PartitionMap::new(config.num_pes, graph.capacity(), config.partition);
+            let live: Vec<_> = graph.live_ids().collect();
+            for v in live {
+                heap.alloc(
+                    pm.pe_of(v).index(),
+                    v.index(),
+                    u64::from(graph.vertex_bytes(v)),
+                );
+            }
+            graph.set_heap_journal(true);
+        }
         System {
             graph,
             templates,
@@ -126,6 +147,7 @@ impl System {
             telem,
             executing: None,
             telem_cycle: 0,
+            heap,
         }
     }
 
@@ -139,6 +161,54 @@ impl System {
     /// build). GC drivers snapshot it around cycle phases.
     pub fn telemetry(&self) -> &Registry {
         &self.telem
+    }
+
+    /// The system's heap tracker (the zero-sized no-op in a default
+    /// build). GC drivers close a heap cycle on it per marking cycle.
+    pub fn heap_tracker(&self) -> &HeapTracker {
+        &self.heap
+    }
+
+    /// The heap tracker, mutably (for `close_cycle` / `record_trigger` /
+    /// `begin_episode` by GC drivers and bench harnesses).
+    pub fn heap_tracker_mut(&mut self) -> &mut HeapTracker {
+        &mut self.heap
+    }
+
+    /// Running heap totals (empty in a default build).
+    pub fn heap_snapshot(&self) -> HeapSnapshot {
+        self.heap.snapshot()
+    }
+
+    /// Replays the graph store's byte journal into the heap tracker,
+    /// attributing each vertex's bytes to the PE that owns it under the
+    /// current partition. Called after every dispatch; a GC driver also
+    /// calls it after restructuring, whose frees bypass dispatch.
+    pub fn drain_heap_journal(&mut self) {
+        if !self.heap.enabled() || !self.graph.heap_journal_pending() {
+            return;
+        }
+        let pm = self.partition();
+        for delta in self.graph.take_heap_journal() {
+            match delta {
+                HeapDelta::Alloc { id, bytes } => {
+                    self.heap
+                        .alloc(pm.pe_of(id).index(), id.index(), u64::from(bytes));
+                }
+                HeapDelta::Free { id, bytes } => {
+                    self.heap
+                        .free(pm.pe_of(id).index(), id.index(), u64::from(bytes));
+                }
+                HeapDelta::Reweight { id, old, new } => {
+                    self.heap.reweight(
+                        pm.pe_of(id).index(),
+                        id.index(),
+                        u64::from(old),
+                        u64::from(new),
+                    );
+                }
+            }
+        }
     }
 
     /// The system configuration.
@@ -319,6 +389,7 @@ impl System {
             }
         }
         self.executing = None;
+        self.drain_heap_journal();
     }
 
     /// Demands the root and runs until the result arrives, the system is
@@ -392,6 +463,49 @@ mod tests {
         g.set_root(root);
         let mut sys = System::new(g, templates, config);
         sys.run()
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn heap_tracker_stamps_builder_vertices_and_runtime_traffic() {
+        let mut g = GraphStore::new();
+        let mut b = Builder::new(&mut g);
+        let two = b.int(2);
+        let three = b.int(3);
+        let root = b.prim2(PrimOp::Add, two, three);
+        g.set_root(root);
+        let built_bytes = g.live_bytes();
+        assert!(built_bytes > 0);
+
+        let mut sys = System::new(g, TemplateStore::new(), SystemConfig::default());
+        // Builder-phase vertices were bulk-stamped at construction.
+        assert_eq!(sys.heap_snapshot().live, built_bytes);
+        assert_eq!(sys.run(), RunOutcome::Value(Value::Int(5)));
+
+        let s = sys.heap_snapshot();
+        // The ledger mirrors the graph's own clock, and every byte freed
+        // so far carried an exact allocation stamp.
+        assert_eq!(s.live, sys.graph.live_bytes());
+        assert_eq!(s.alloc_bytes, sys.graph.alloc_bytes_total());
+        assert!(s.peak >= s.live);
+        assert_eq!(s.exact_bytes, s.freed_bytes);
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn heap_tracker_is_silent_feature_off() {
+        let mut g = GraphStore::new();
+        let mut b = Builder::new(&mut g);
+        let two = b.int(2);
+        let three = b.int(3);
+        let root = b.prim2(PrimOp::Add, two, three);
+        g.set_root(root);
+        let mut sys = System::new(g, TemplateStore::new(), SystemConfig::default());
+        assert_eq!(sys.run(), RunOutcome::Value(Value::Int(5)));
+        // The no-op tracker records nothing, but the graph's own
+        // always-on byte clock still runs (the pressure trigger needs it).
+        assert!(sys.heap_snapshot().is_empty());
+        assert!(sys.graph.alloc_bytes_total() > 0);
     }
 
     #[test]

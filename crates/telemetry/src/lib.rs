@@ -33,6 +33,7 @@
 pub mod active;
 pub mod cycle;
 pub mod flight;
+pub mod heap;
 pub mod heartbeat;
 pub mod ids;
 pub mod lifecycle;
@@ -44,6 +45,7 @@ pub mod trace;
 
 pub use cycle::{timeline_json, timeline_text, CycleReport};
 pub use flight::{flight_json, flight_path, write_flight, FLIGHT_DIR_ENV};
+pub use heap::{CycleHeap, HeapSnapshot, PeHeap, TriggerCause};
 pub use heartbeat::Heartbeat;
 pub use ids::{CounterId, GaugeId, HistId, Phase};
 pub use lifecycle::{CycleLifecycle, LifecycleSnapshot};
@@ -58,8 +60,12 @@ pub use trace::{chrome_trace_json, events_jsonl, json_escape};
 #[cfg(feature = "telemetry")]
 pub use active::{FlowTag, HeartbeatHandle, PeShard, Registry, SpanGuard};
 #[cfg(feature = "telemetry")]
+pub use heap::Tracker as HeapTracker;
+#[cfg(feature = "telemetry")]
 pub use lifecycle::Tracker as LifecycleTracker;
 
+#[cfg(not(feature = "telemetry"))]
+pub use noop::HeapTracker;
 #[cfg(not(feature = "telemetry"))]
 pub use noop::LifecycleTracker;
 #[cfg(not(feature = "telemetry"))]

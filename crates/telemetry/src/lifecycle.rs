@@ -144,8 +144,9 @@ impl LifecycleSnapshot {
     }
 }
 
-/// Bucket-estimated quantile over a raw power-of-two bucket array.
-fn quantile(buckets: &[u64; HIST_BUCKETS], count: u64, max: u64, q: f64) -> u64 {
+/// Bucket-estimated quantile over a raw power-of-two bucket array
+/// (shared with the [`heap`](crate::heap) snapshot).
+pub(crate) fn quantile(buckets: &[u64; HIST_BUCKETS], count: u64, max: u64, q: f64) -> u64 {
     if count == 0 {
         return 0;
     }

@@ -6,6 +6,7 @@
 //! default build. The API mirrors [`active`](crate::active) exactly;
 //! `lib.rs` re-exports one or the other under the same names.
 
+use crate::heap::{CycleHeap, HeapSnapshot, TriggerCause};
 use crate::ids::{CounterId, GaugeId, HistId, Phase};
 use crate::lifecycle::{CycleLifecycle, LifecycleSnapshot};
 use crate::metrics::MetricsSnapshot;
@@ -324,6 +325,73 @@ impl LifecycleTracker {
     }
 }
 
+/// No-op counterpart of the recording
+/// [`heap::Tracker`](crate::heap::Tracker).
+///
+/// Zero-sized: a system field holding one adds no bytes, every byte
+/// stamp compiles away, and [`HeapTracker::enabled`] returning `false`
+/// lets call sites skip their journal-drain loops.
+#[derive(Debug, Default)]
+pub struct HeapTracker;
+
+impl HeapTracker {
+    /// A no-op tracker (ignores the PE count).
+    #[inline(always)]
+    pub fn new(_num_pes: usize) -> Self {
+        HeapTracker
+    }
+
+    /// `false`: nothing is recorded (skip the journal drain).
+    #[inline(always)]
+    pub const fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn alloc(&mut self, _pe: usize, _idx: usize, _bytes: u64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn free(&mut self, _pe: usize, _idx: usize, _bytes: u64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn reweight(&mut self, _pe: usize, _idx: usize, _old: u64, _new: u64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn record_trigger(&mut self, _cause: TriggerCause) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn begin_episode(&mut self) {}
+
+    /// Does nothing; returns the zero record.
+    #[inline(always)]
+    pub fn close_cycle(&mut self, _cycle: u64) -> CycleHeap {
+        CycleHeap::default()
+    }
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn live_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn peak_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Always the empty snapshot.
+    #[inline(always)]
+    pub fn snapshot(&self) -> HeapSnapshot {
+        HeapSnapshot::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +408,23 @@ mod tests {
         assert_eq!(std::mem::size_of::<FlowTag>(), 0);
         assert_eq!(std::mem::size_of::<HeartbeatHandle>(), 0);
         assert_eq!(std::mem::size_of::<LifecycleTracker>(), 0);
+        assert_eq!(std::mem::size_of::<HeapTracker>(), 0);
+    }
+
+    #[test]
+    fn noop_heap_tracks_nothing() {
+        let mut t = HeapTracker::new(4);
+        assert!(!t.enabled());
+        t.alloc(0, 1, 32);
+        t.reweight(0, 1, 32, 64);
+        t.free(0, 1, 64);
+        t.record_trigger(TriggerCause::HeapBytes);
+        t.begin_episode();
+        let rec = t.close_cycle(3);
+        assert_eq!(rec, CycleHeap::default());
+        assert_eq!(t.live_bytes(), 0);
+        assert_eq!(t.peak_bytes(), 0);
+        assert!(t.snapshot().is_empty());
     }
 
     #[test]

@@ -29,11 +29,16 @@
 //! * [`lifecycle`] — vertex-lifecycle reconstruction: folds the `lc_*`
 //!   instants the GC driver closes each cycle with into the per-cycle
 //!   float/latency/message-cost table and the worst-floater list.
+//! * [`heap`] — heap-pressure reconstruction: folds the `hp_*` instants
+//!   the GC driver closes each cycle with into the per-cycle
+//!   live/peak/trigger-cause table.
 
 use std::collections::BTreeMap;
 
 pub mod blame;
 pub use blame::{attribution, blame, blame_text, Attribution, BlameReport, PeClock, SpanSource};
+pub mod heap;
+pub use heap::{heap, heap_text, HeapReport, HeapRow};
 pub mod lifecycle;
 pub use lifecycle::{lifecycle, lifecycle_text, unpack_floater, LifecycleReport, LifecycleRow};
 

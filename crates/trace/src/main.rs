@@ -7,6 +7,7 @@
 //! dgr-trace fanout         <events.jsonl | flight-N.json>
 //! dgr-trace blame          <events.jsonl | flight-N.json>
 //! dgr-trace lifecycle      <events.jsonl | flight-N.json>
+//! dgr-trace heap           <events.jsonl | flight-N.json>
 //! dgr-trace diff           <before.jsonl> <after.jsonl>
 //! ```
 //!
@@ -22,12 +23,13 @@ use dgr_trace::{
 };
 
 const USAGE: &str =
-    "usage: dgr-trace <summarize|critical-path|fanout|blame|lifecycle|diff> <file> [args]
+    "usage: dgr-trace <summarize|critical-path|fanout|blame|lifecycle|heap|diff> <file> [args]
   summarize     <file>                       run statistics and flow matching
   critical-path <file> [--cycle N] [--verbose]  longest causal hop chain per cycle
   fanout        <file>                       per-phase fan-out histograms
   blame         <file>                       speedup-gap attribution from state clocks
   lifecycle     <file>                       per-cycle float/latency/message-cost table
+  heap          <file>                       per-cycle live/peak/trigger-cause table
   diff          <before> <after>             A/B comparison of two runs
 <file> is an events JSONL (BENCH_telemetry_events.jsonl) or a flight dump (flight-<pe>.json)";
 
@@ -86,6 +88,12 @@ fn run() -> Result<String, String> {
             Ok(dgr_trace::lifecycle_text(&dgr_trace::lifecycle(&load(
                 path,
             )?)))
+        }
+        "heap" => {
+            let [path] = rest else {
+                return Err(USAGE.to_string());
+            };
+            Ok(dgr_trace::heap_text(&dgr_trace::heap(&load(path)?)))
         }
         "diff" => {
             let [before, after] = rest else {
